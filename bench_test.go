@@ -1,0 +1,113 @@
+// Package hermes_test hosts the benchmark harness entry points: one
+// testing.B benchmark per figure of the paper's evaluation. Each
+// benchmark regenerates its figure at CI scale and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the whole evaluation. Paper-scale runs use
+// cmd/hermes-bench.
+package hermes_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hermes/internal/harness"
+)
+
+// figSession is shared across benchmarks in one `go test -bench` run
+// so figures that reuse configurations (6↔8, 7↔9, 10–13) hit the
+// cache exactly like cmd/hermes-bench.
+var figSession = harness.NewSession(harness.Quick())
+
+func benchFigure(b *testing.B, id int) {
+	b.ReportAllocs()
+	var tab harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := figSession.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab = t
+	}
+	// Surface the figure's headline numbers as benchmark metrics.
+	reportHeadlines(b, tab)
+	if testing.Verbose() {
+		b.Log("\n" + tab.String())
+	}
+}
+
+// reportHeadlines extracts average energy-saving / time-loss / EDP
+// values from a figure table and reports them as metrics.
+func reportHeadlines(b *testing.B, t harness.Table) {
+	var save, loss, edp float64
+	var nSave, nLoss, nEDP int
+	for _, row := range t.Rows {
+		for i, col := range t.Columns {
+			if i >= len(row) {
+				continue
+			}
+			v, ok := parsePct(row[i])
+			switch {
+			case strings.HasPrefix(col, "energy-saving") || strings.HasPrefix(col, "save"):
+				if ok {
+					save += v
+					nSave++
+				}
+			case strings.HasPrefix(col, "time-loss") || strings.HasPrefix(col, "loss"):
+				if ok {
+					loss += v
+					nLoss++
+				}
+			case strings.HasPrefix(col, "normalized-EDP"):
+				if x, err := parseFloat(row[i]); err == nil {
+					edp += x
+					nEDP++
+				}
+			}
+		}
+	}
+	if nSave > 0 {
+		b.ReportMetric(save/float64(nSave), "%energy-saved")
+	}
+	if nLoss > 0 {
+		b.ReportMetric(loss/float64(nLoss), "%time-loss")
+	}
+	if nEDP > 0 {
+		b.ReportMetric(edp/float64(nEDP), "EDP-ratio")
+	}
+}
+
+func parsePct(s string) (float64, bool) {
+	if !strings.HasSuffix(s, "%") {
+		return 0, false
+	}
+	v, err := parseFloat(strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%"))
+	return v, err == nil
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// Benchmarks, one per figure of the evaluation section.
+
+func BenchmarkFig06_OverallSystemA(b *testing.B)  { benchFigure(b, 6) }
+func BenchmarkFig07_OverallSystemB(b *testing.B)  { benchFigure(b, 7) }
+func BenchmarkFig08_EDPSystemA(b *testing.B)      { benchFigure(b, 8) }
+func BenchmarkFig09_EDPSystemB(b *testing.B)      { benchFigure(b, 9) }
+func BenchmarkFig10_StrategyEnergyA(b *testing.B) { benchFigure(b, 10) }
+func BenchmarkFig11_StrategyTimeA(b *testing.B)   { benchFigure(b, 11) }
+func BenchmarkFig12_StrategyEnergyB(b *testing.B) { benchFigure(b, 12) }
+func BenchmarkFig13_StrategyTimeB(b *testing.B)   { benchFigure(b, 13) }
+func BenchmarkFig14_FreqSelectionA(b *testing.B)  { benchFigure(b, 14) }
+func BenchmarkFig15_FreqSelectionB(b *testing.B)  { benchFigure(b, 15) }
+func BenchmarkFig16_NFrequencyA(b *testing.B)     { benchFigure(b, 16) }
+func BenchmarkFig17_NFrequencyB(b *testing.B)     { benchFigure(b, 17) }
+func BenchmarkFig18_StaticDynamic(b *testing.B)   { benchFigure(b, 18) }
+func BenchmarkFig19_TraceKNN16(b *testing.B)      { benchFigure(b, 19) }
+func BenchmarkFig20_TraceKNN8(b *testing.B)       { benchFigure(b, 20) }
+func BenchmarkFig21_TraceRay16(b *testing.B)      { benchFigure(b, 21) }
+func BenchmarkFig22_TraceRay8(b *testing.B)       { benchFigure(b, 22) }

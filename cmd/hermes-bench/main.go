@@ -1,0 +1,71 @@
+// hermes-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	hermes-bench                 # all figures, paper-scale
+//	hermes-bench -fig 6          # one figure
+//	hermes-bench -quick          # CI-scale (smaller inputs, 2 trials)
+//	hermes-bench -csv out/       # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hermes/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+		quick   = flag.Bool("quick", false, "CI-scale runs: smaller inputs, fewer trials")
+		trials  = flag.Int("trials", 0, "override trials per configuration")
+		scale   = flag.Float64("scale", 0, "override input-size scale factor")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
+		verbose = flag.Bool("v", false, "log each run")
+	)
+	flag.Parse()
+
+	opts := harness.Full()
+	if *quick {
+		opts = harness.Quick()
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	opts.Verbose = *verbose
+	s := harness.NewSession(opts)
+	s.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+
+	ids := harness.Figures()
+	if *fig != 0 {
+		ids = []int{*fig}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := s.Figure(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, fmt.Sprintf("figure%02d.csv", id))
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// hermes-sim runs a single simulated workload under a chosen scheduler
+// configuration and prints the detailed report — the low-level probe
+// into the runtime (cmd/hermes-bench regenerates whole figures).
+//
+// Usage:
+//
+//	hermes-sim -system A -workers 8 -mode hermes -bench sort -n 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hermes/internal/bench"
+	"hermes/internal/core"
+	"hermes/internal/cpu"
+	"hermes/internal/units"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "A", "machine model: A (32-core Opteron) or B (8-core FX-8150)")
+		workers   = flag.Int("workers", 8, "number of workers (≤ clock domains)")
+		mode      = flag.String("mode", "hermes", "scheduler mode: baseline | workpath | workload | hermes")
+		schedPol  = flag.String("sched", "static", "worker-core mapping: static | dynamic")
+		benchN    = flag.String("bench", "sort", "workload: "+strings.Join(bench.Names(), " | "))
+		n         = flag.Int("n", 0, "input size (0 = workload default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		freqs     = flag.String("freqs", "", "comma-separated tempo GHz list, fastest first (e.g. 2.4,1.6)")
+		compare   = flag.Bool("compare", false, "also run baseline and print savings/loss")
+		perWorker = flag.Bool("perworker", false, "print per-worker residency breakdown")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Workers: *workers, Seed: *seed}
+	switch strings.ToUpper(*system) {
+	case "A":
+		cfg.Spec = cpu.SystemA()
+	case "B":
+		cfg.Spec = cpu.SystemB()
+	default:
+		fatalf("unknown system %q", *system)
+	}
+	switch *mode {
+	case "baseline":
+		cfg.Mode = core.Baseline
+	case "workpath":
+		cfg.Mode = core.WorkpathOnly
+	case "workload":
+		cfg.Mode = core.WorkloadOnly
+	case "hermes":
+		cfg.Mode = core.Unified
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	switch *schedPol {
+	case "static":
+		cfg.Scheduling = core.Static
+	case "dynamic":
+		cfg.Scheduling = core.Dynamic
+	default:
+		fatalf("unknown scheduling %q", *schedPol)
+	}
+	if *freqs != "" {
+		for _, part := range strings.Split(*freqs, ",") {
+			var ghz float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%f", &ghz); err != nil {
+				fatalf("bad frequency %q", part)
+			}
+			cfg.Freqs = append(cfg.Freqs, units.Freq(ghz*1e6)*units.KHz)
+		}
+	}
+
+	b, err := bench.ByName(*benchN)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	size := *n
+	if size == 0 {
+		size = b.DefaultN
+	}
+	load := b.Build(size, *seed)
+
+	r := core.Run(cfg, load.Root)
+	fmt.Println(r.String())
+	if *perWorker {
+		for i, pw := range r.PerWorker {
+			fmt.Printf("  w%-2d busy=%-12v slowBusy=%-12v spin=%-12v slowSpin=%-12v idle=%-10v steals=%d\n",
+				i, pw.Busy, pw.SlowBusy, pw.Spin, pw.SlowSpin, pw.Idle, pw.Steals)
+		}
+	}
+	if load.Check != nil {
+		if err := load.Check(); err != nil {
+			fatalf("verification failed: %v", err)
+		}
+		fmt.Println("  result verified against sequential reference")
+	}
+
+	if *compare && cfg.Mode != core.Baseline {
+		bcfg := cfg
+		bcfg.Mode = core.Baseline
+		bload := b.Build(size, *seed)
+		br := core.Run(bcfg, bload.Root)
+		save := 1 - r.EnergyJ/br.EnergyJ
+		loss := r.Span.Seconds()/br.Span.Seconds() - 1
+		edp := r.EDP / br.EDP
+		fmt.Printf("vs baseline: energy saving %+.1f%%  time loss %+.1f%%  normalized EDP %.3f\n",
+			100*save, 100*loss, edp)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hermes-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// hermes-trace emits the 100 Hz power time series for one benchmark
+// under static and dynamic scheduling — the data behind the paper's
+// Figures 19–22 — as CSV on stdout.
+//
+// Usage:
+//
+//	hermes-trace -bench knn -workers 16 > knn16.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hermes/internal/bench"
+	"hermes/internal/core"
+	"hermes/internal/cpu"
+)
+
+func main() {
+	var (
+		benchN  = flag.String("bench", "knn", "benchmark to trace")
+		workers = flag.Int("workers", 16, "worker count")
+		n       = flag.Int("n", 0, "input size (0 = default)")
+		seed    = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	b, err := bench.ByName(*benchN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-trace:", err)
+		os.Exit(1)
+	}
+	size := *n
+	if size == 0 {
+		size = b.DefaultN
+	}
+
+	run := func(pol core.Scheduling) core.Report {
+		load := b.Build(size, *seed)
+		return core.Run(core.Config{
+			Spec:       cpu.SystemA(),
+			Workers:    *workers,
+			Mode:       core.Unified,
+			Scheduling: pol,
+			Seed:       *seed,
+		}, load.Root)
+	}
+	st := run(core.Static)
+	dy := run(core.Dynamic)
+
+	fmt.Println("t_seconds,static_watts,dynamic_watts")
+	max := len(st.Samples)
+	if len(dy.Samples) > max {
+		max = len(dy.Samples)
+	}
+	for i := 0; i < max; i++ {
+		var t float64
+		stW, dyW := "", ""
+		if i < len(st.Samples) {
+			t = st.Samples[i].T.Seconds()
+			stW = fmt.Sprintf("%.2f", st.Samples[i].Watts)
+		}
+		if i < len(dy.Samples) {
+			t = dy.Samples[i].T.Seconds()
+			dyW = fmt.Sprintf("%.2f", dy.Samples[i].Watts)
+		}
+		fmt.Printf("%.2f,%s,%s\n", t, stW, dyW)
+	}
+	fmt.Fprintf(os.Stderr, "static:  span=%v energy=%.2fJ\ndynamic: span=%v energy=%.2fJ\n",
+		st.Span, st.EnergyJ, dy.Span, dy.EnergyJ)
+}

@@ -1,0 +1,41 @@
+// KNN service: the paper's "KNN" workload as an application — answer
+// k-nearest-neighbour queries over a clustered point set, sweeping the
+// worker count to show how HERMES's savings behave with parallelism
+// (the paper's Figure 6 x-axis).
+//
+//	go run ./examples/knnservice
+package main
+
+import (
+	"fmt"
+
+	"hermes"
+	"hermes/internal/bench/knn"
+)
+
+func main() {
+	fmt.Println("k-nearest neighbours (k=8) over 100k clustered points, SystemA")
+	fmt.Printf("%-8s  %-12s  %-10s  %-10s  %-8s\n", "workers", "span", "energy", "saving", "loss")
+	for _, w := range []int{2, 4, 8, 16} {
+		base := run(w, hermes.Baseline)
+		herm := run(w, hermes.Unified)
+		fmt.Printf("%-8d  %-12v  %-10.2f  %+-10.1f  %+-8.1f\n",
+			w, herm.Span, herm.EnergyJ,
+			100*(1-herm.EnergyJ/base.EnergyJ),
+			100*(herm.Span.Seconds()/base.Span.Seconds()-1))
+	}
+}
+
+func run(workers int, mode hermes.Mode) hermes.Report {
+	job := knn.New(100_000, 8, 11)
+	r := hermes.Run(hermes.Config{
+		Spec:    hermes.SystemA(),
+		Workers: workers,
+		Mode:    mode,
+		Seed:    11,
+	}, job.Root)
+	if err := job.Check(); err != nil {
+		panic(err)
+	}
+	return r
+}

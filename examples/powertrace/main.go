@@ -1,0 +1,31 @@
+// Powertrace: record the 100 Hz power samples of a run — what the
+// paper's NI DAQ rig produced — and print them as CSV, ready for
+// plotting (Figures 19–22 are these traces for KNN and Ray).
+//
+//	go run ./examples/powertrace > trace.csv
+package main
+
+import (
+	"fmt"
+
+	"hermes"
+	"hermes/internal/bench/isort"
+)
+
+func main() {
+	job := isort.New(6_000_000, 3)
+	r := hermes.Run(hermes.Config{
+		Spec:    hermes.SystemA(),
+		Workers: 16,
+		Mode:    hermes.Unified,
+		Seed:    3,
+	}, job.Root)
+	if err := job.Check(); err != nil {
+		panic(err)
+	}
+	fmt.Println("t_seconds,watts,amps_at_12V")
+	for _, s := range r.Samples {
+		fmt.Printf("%.2f,%.2f,%.3f\n", s.T.Seconds(), s.Watts, s.Amps)
+	}
+	fmt.Printf("# span=%v energy=%.2fJ meter=%.2fJ\n", r.Span, r.EnergyJ, r.MeterJ)
+}

@@ -1,0 +1,32 @@
+// Raytrace: the paper's "Ray" workload as an application — build a BVH
+// over a random scene and cast rays in parallel, reporting hits and
+// the runtime's energy/time bill on both modeled systems.
+//
+//	go run ./examples/raytrace
+package main
+
+import (
+	"fmt"
+
+	"hermes"
+	"hermes/internal/bench/ray"
+	"hermes/internal/cpu"
+)
+
+func main() {
+	for _, sys := range []*cpu.Spec{hermes.SystemA(), hermes.SystemB()} {
+		workers := sys.Domains()
+		job := ray.New(50_000, 100_000, 7)
+		r := hermes.Run(hermes.Config{
+			Spec:    sys,
+			Workers: workers,
+			Mode:    hermes.Unified,
+			Seed:    7,
+		}, job.Root)
+		if err := job.Check(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s (%d workers): %d/%d rays hit, span %v, %.2f J (%.1f W avg)\n",
+			sys.Name, workers, job.HitCount(), 100_000, r.Span, r.EnergyJ, r.AvgPowerW)
+	}
+}

@@ -1,0 +1,88 @@
+package hermes_test
+
+import (
+	"testing"
+
+	"hermes"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	done := make([]int, 64)
+	r := hermes.Run(hermes.Config{
+		Spec:    hermes.SystemB(),
+		Workers: 4,
+		Mode:    hermes.Unified,
+		Seed:    1,
+	}, func(c hermes.Ctx) {
+		hermes.For(c, 0, len(done), 4, func(c hermes.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				done[i]++
+			}
+			c.WorkMix(hermes.Cycles(800_000*(hi-lo)), 0.5)
+		})
+	})
+	for i, v := range done {
+		if v != 1 {
+			t.Fatalf("element %d ran %d times", i, v)
+		}
+	}
+	if r.System != "SystemB" || r.EnergyJ <= 0 || r.Span <= 0 {
+		t.Fatalf("bad report: %+v", r)
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() hermes.Report {
+		return hermes.Run(hermes.Config{Workers: 8, Mode: hermes.Unified, Seed: 7},
+			func(c hermes.Ctx) {
+				hermes.For(c, 0, 256, 2, func(c hermes.Ctx, lo, hi int) {
+					c.WorkMix(hermes.Cycles(400_000*(hi-lo)), 0.6)
+				})
+			})
+	}
+	a, b := run(), run()
+	if a.Span != b.Span || a.EnergyJ != b.EnergyJ || a.Steals != b.Steals {
+		t.Fatal("public API runs are not deterministic")
+	}
+}
+
+func TestPublicAPIModesDiffer(t *testing.T) {
+	work := func(c hermes.Ctx) {
+		hermes.For(c, 0, 512, 2, func(c hermes.Ctx, lo, hi int) {
+			c.WorkMix(hermes.Cycles(500_000*(hi-lo)), 0.8)
+		})
+	}
+	base := hermes.Run(hermes.Config{Workers: 8, Mode: hermes.Baseline, Seed: 3}, work)
+	herm := hermes.Run(hermes.Config{Workers: 8, Mode: hermes.Unified, Seed: 3}, work)
+	if herm.TempoSwitches == 0 || base.TempoSwitches != 0 {
+		t.Fatalf("tempo switches: hermes=%d baseline=%d", herm.TempoSwitches, base.TempoSwitches)
+	}
+	if herm.EnergyJ >= base.EnergyJ {
+		t.Fatalf("hermes %.3fJ not below baseline %.3fJ on a memory-bound workload",
+			herm.EnergyJ, base.EnergyJ)
+	}
+}
+
+func TestSeqHelper(t *testing.T) {
+	order := 0
+	hermes.Run(hermes.Config{Workers: 2, Seed: 1}, func(c hermes.Ctx) {
+		hermes.Seq(c,
+			func(hermes.Ctx) { order = order*10 + 1 },
+			func(hermes.Ctx) { order = order*10 + 2 },
+		)
+	})
+	if order != 12 {
+		t.Fatalf("Seq order = %d", order)
+	}
+}
+
+func TestDefaultFreqs(t *testing.T) {
+	a := hermes.DefaultFreqs(hermes.SystemA())
+	if len(a) != 2 || a[0] != 2_400_000*hermes.KHz || a[1] != 1_600_000*hermes.KHz {
+		t.Fatalf("SystemA defaults = %v", a)
+	}
+	b := hermes.DefaultFreqs(hermes.SystemB())
+	if len(b) != 2 || b[0] != 3_600_000*hermes.KHz || b[1] != 2_700_000*hermes.KHz {
+		t.Fatalf("SystemB defaults = %v", b)
+	}
+}

@@ -1,0 +1,211 @@
+// Package core implements the HERMES scheduler of Ribic & Liu
+// (ASPLOS 2014): a Cilk-style work-stealing runtime whose workers
+// execute at different tempos (DVFS frequencies) chosen by the
+// workpath-sensitive and workload-sensitive algorithms of the paper's
+// Figure 5, executed over the deterministic discrete-event machine
+// model in internal/cpu, internal/power and internal/meter.
+package core
+
+import (
+	"fmt"
+
+	"hermes/internal/cpu"
+	"hermes/internal/units"
+)
+
+// Mode selects which tempo-control strategies are active.
+type Mode uint8
+
+const (
+	// Baseline is the unmodified work-stealing runtime (the paper's
+	// Intel Cilk Plus control): no tempo control, all cores at the
+	// maximum frequency.
+	Baseline Mode = iota
+	// WorkpathOnly enables only thief procrastination and immediacy
+	// relay (Section 3.1).
+	WorkpathOnly
+	// WorkloadOnly enables only deque-size-driven tempo (Section 3.2).
+	WorkloadOnly
+	// Unified enables both strategies (Section 3.3) — full HERMES.
+	Unified
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case WorkpathOnly:
+		return "workpath"
+	case WorkloadOnly:
+		return "workload"
+	case Unified:
+		return "hermes"
+	}
+	return "invalid"
+}
+
+// workpath reports whether the immediacy-list strategy is active.
+func (m Mode) workpath() bool { return m == WorkpathOnly || m == Unified }
+
+// workload reports whether the deque-size strategy is active.
+func (m Mode) workload() bool { return m == WorkloadOnly || m == Unified }
+
+// Scheduling selects the worker-core mapping policy of Section 3.4.
+type Scheduling uint8
+
+const (
+	// Static pre-assigns each worker to a core for the whole run.
+	Static Scheduling = iota
+	// Dynamic re-pins the worker around every WORK invocation
+	// (affinity set before, reset after), paying AffinityCost twice
+	// per task. This is the paper's explanation for dynamic
+	// scheduling's slightly higher energy (Figure 18).
+	Dynamic
+)
+
+func (s Scheduling) String() string {
+	if s == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Config describes one simulated run.
+type Config struct {
+	// Spec is the machine model; defaults to cpu.SystemA().
+	Spec *cpu.Spec
+	// Workers is the number of worker threads; each is pinned to a
+	// core on a distinct clock domain, per the paper's setup.
+	Workers int
+	// Mode selects the tempo-control strategy.
+	Mode Mode
+	// Freqs is the N-frequency tempo set, fastest first (Section 3.4).
+	// Tempo level i maps to Freqs[min(i, N-1)]. Empty selects the
+	// paper's default 2-frequency pair for the system: 2.4/1.6 GHz on
+	// System A, 3.6/2.7 GHz on System B.
+	Freqs []units.Freq
+	// K is the number of workload thresholds (default 2).
+	K int
+	// ProfilePeriod is the online-profiling sampling period for deque
+	// sizes (default 500µs); ProfileWindow is how many periods the
+	// rolling average spans (default 16).
+	ProfilePeriod units.Time
+	ProfileWindow int
+	// InitialAvgDeque seeds the thresholds before the first profile
+	// period completes (default 2).
+	InitialAvgDeque float64
+	// Scheduling selects static or dynamic worker-core mapping.
+	Scheduling Scheduling
+	// Seed drives every random choice (victim selection). Identical
+	// configs and seeds produce bit-identical runs.
+	Seed int64
+
+	// Overheads. Zero values select defaults consistent with the
+	// paper's Section 3.4 discussion.
+	StealCost    units.Time // per steal attempt (lock + probe), default 1.2µs
+	PushPopCost  units.Time // per local deque operation, default 60ns
+	YieldSpin    units.Time // initial failed-steal backoff, default 25µs
+	YieldSpinMax units.Time // backoff cap, default 200µs
+	AffinityCost units.Time // per affinity syscall under Dynamic, default 1.5µs
+	MaxHelpDepth int        // join help-steal nesting cap, default 128
+	// MaxTempoLevels bounds how deep tempo levels can stack (thief
+	// chains, workload tiers). Levels map onto the N frequencies by
+	// saturation: level i runs at Freqs[min(i, N-1)], per the paper's
+	// N-frequency tempo control. Default N+2.
+	MaxTempoLevels int
+}
+
+// withDefaults fills in zero fields and validates the configuration.
+func (c Config) withDefaults() Config {
+	if c.Spec == nil {
+		c.Spec = cpu.SystemA()
+	}
+	if c.Workers == 0 {
+		c.Workers = c.Spec.Domains()
+	}
+	if c.Workers < 1 || c.Workers > c.Spec.Domains() {
+		panic(fmt.Sprintf("core: %d workers not supported on %s (%d clock domains)",
+			c.Workers, c.Spec.Name, c.Spec.Domains()))
+	}
+	if len(c.Freqs) == 0 {
+		c.Freqs = DefaultFreqs(c.Spec)
+	}
+	for i, f := range c.Freqs {
+		if !c.Spec.Supports(f) {
+			panic(fmt.Sprintf("core: %s does not support tempo frequency %v", c.Spec.Name, f))
+		}
+		if i > 0 && f >= c.Freqs[i-1] {
+			panic("core: tempo frequencies must be strictly descending")
+		}
+	}
+	if c.Freqs[0] != c.Spec.MaxFreq() {
+		panic("core: the fastest tempo must map to the maximum frequency")
+	}
+	if c.Mode != Baseline && len(c.Freqs) < 2 {
+		panic("core: tempo control needs at least two frequencies")
+	}
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.ProfilePeriod == 0 {
+		c.ProfilePeriod = 500 * units.Microsecond
+	}
+	if c.ProfileWindow == 0 {
+		c.ProfileWindow = 16
+	}
+	if c.InitialAvgDeque == 0 {
+		c.InitialAvgDeque = 2
+	}
+	if c.StealCost == 0 {
+		c.StealCost = 1200 * units.Nanosecond
+	}
+	if c.PushPopCost == 0 {
+		c.PushPopCost = 60 * units.Nanosecond
+	}
+	if c.YieldSpin == 0 {
+		c.YieldSpin = 25 * units.Microsecond
+	}
+	if c.YieldSpinMax == 0 {
+		c.YieldSpinMax = 200 * units.Microsecond
+	}
+	if c.AffinityCost == 0 {
+		c.AffinityCost = 1500 * units.Nanosecond
+	}
+	if c.MaxHelpDepth == 0 {
+		c.MaxHelpDepth = 128
+	}
+	if c.MaxTempoLevels == 0 {
+		c.MaxTempoLevels = len(c.Freqs) + 2
+	}
+	if c.MaxTempoLevels < len(c.Freqs) {
+		panic("core: MaxTempoLevels must cover the tempo frequency set")
+	}
+	return c
+}
+
+// DefaultFreqs returns the paper's default 2-frequency tempo mapping
+// for a system: the maximum frequency paired with the slow frequency
+// nearest the "golden ratio" ≈60–75% the paper found optimal
+// (2.4/1.6 GHz on System A, 3.6/2.7 GHz on System B).
+func DefaultFreqs(spec *cpu.Spec) []units.Freq {
+	switch spec.Name {
+	case "SystemA":
+		return []units.Freq{2_400_000 * units.KHz, 1_600_000 * units.KHz}
+	case "SystemB":
+		return []units.Freq{3_600_000 * units.KHz, 2_700_000 * units.KHz}
+	}
+	// Generic fallback: max plus the point closest to 2/3 of max.
+	max := spec.MaxFreq()
+	bestD := units.Freq(1 << 62)
+	best := spec.MinFreq()
+	for _, p := range spec.Points[1:] {
+		d := p.F - max*2/3
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			bestD, best = d, p.F
+		}
+	}
+	return []units.Freq{max, best}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hermes/internal/meter"
+	"hermes/internal/units"
+)
+
+// Report summarizes one simulated run. Energy and samples follow the
+// paper's measurement methodology (100 Hz meter on a 12 V rail);
+// EnergyJ is the exact piecewise integral for noise-free comparisons.
+type Report struct {
+	System  string
+	Workers int
+	Mode    Mode
+	Sched   Scheduling
+
+	// Span is the makespan: virtual time from start to root-task
+	// completion.
+	Span units.Time
+	// EnergyJ is the exact integrated CPU energy over the span.
+	EnergyJ float64
+	// MeterJ is the energy the paper's 100 Hz DAQ rig would report.
+	MeterJ float64
+	// EDP is the energy-delay product (exact energy × span).
+	EDP float64
+	// AvgPowerW is EnergyJ / span.
+	AvgPowerW float64
+	// Samples is the 100 Hz power trace (time series figures).
+	Samples []meter.Sample
+
+	// Scheduler statistics.
+	Tasks         int64 // tasks executed (spawned tasks + root)
+	Spawns        int64 // tasks pushed to deques
+	Steals        int64 // successful steals
+	FailedSteals  int64
+	TempoSwitches int64 // worker tempo-level changes requested
+	DVFSCommits   int64 // domain frequency transitions that actually landed
+	Parks         int64 // join-depth-cap parks
+
+	// Residency, summed over worker cores.
+	BusyTime units.Time
+	SpinTime units.Time
+	IdleTime units.Time
+	// SlowBusyTime is busy time spent below the maximum frequency.
+	SlowBusyTime units.Time
+	// FreqBusy maps frequency → busy core-time at that frequency.
+	FreqBusy map[units.Freq]units.Time
+	// PerWorker breaks residency down by worker.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats is one worker's residency breakdown.
+type WorkerStats struct {
+	Busy, SlowBusy, Spin, SlowSpin, Idle units.Time
+	Steals                               int64
+}
+
+// String renders a human-readable one-run summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s w=%d %s: span=%v energy=%.2fJ (meter %.2fJ) avg=%.1fW EDP=%.3f\n",
+		r.System, r.Mode, r.Workers, r.Sched, r.Span, r.EnergyJ, r.MeterJ, r.AvgPowerW, r.EDP)
+	fmt.Fprintf(&b, "  tasks=%d spawns=%d steals=%d (failed %d) tempo-switches=%d dvfs-commits=%d parks=%d\n",
+		r.Tasks, r.Spawns, r.Steals, r.FailedSteals, r.TempoSwitches, r.DVFSCommits, r.Parks)
+	fmt.Fprintf(&b, "  residency: busy=%v spin=%v idle=%v slow-busy=%v", r.BusyTime, r.SpinTime, r.IdleTime, r.SlowBusyTime)
+	if len(r.FreqBusy) > 0 {
+		freqs := make([]units.Freq, 0, len(r.FreqBusy))
+		for f := range r.FreqBusy {
+			freqs = append(freqs, f)
+		}
+		sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+		b.WriteString("\n  busy by freq:")
+		for _, f := range freqs {
+			fmt.Fprintf(&b, " %v=%v", f, r.FreqBusy[f])
+		}
+	}
+	return b.String()
+}

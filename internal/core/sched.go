@@ -1,0 +1,316 @@
+package core
+
+import (
+	"hermes/internal/cpu"
+	"hermes/internal/meter"
+	"hermes/internal/power"
+	"hermes/internal/sim"
+	"hermes/internal/tempo"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// sched owns one simulated run: machine, meter, engine, workers and
+// the service processes (DVFS commit daemon, threshold profiler).
+type sched struct {
+	cfg   Config
+	eng   *sim.Engine
+	mach  *cpu.Machine
+	model *power.Model
+	met   *meter.Meter
+
+	workers  []*worker
+	byCore   map[*cpu.Core]*worker
+	prof     *tempo.Profiler
+	root     wl.Task
+	done     bool
+	finishAt units.Time
+
+	// DVFS commit daemon state: per-domain pending commit time
+	// (0 = none), and the daemon process to wake on new requests.
+	dvfsCommits []units.Time
+	dvfsProc    *sim.Proc
+	profProc    *sim.Proc
+
+	// statistics (single-threaded in the DES; plain ints)
+	tasks, spawns, steals, failedSteals int64
+	tempoSwitches, parks                int64
+	dvfsCommitCount                     int64
+	lastTouch                           units.Time
+	busy, spin, idle, slowBusy          units.Time
+	freqBusy                            map[units.Freq]units.Time
+	perWorker                           []WorkerStats
+	frozen                              bool
+
+	report Report
+}
+
+// Run executes root to completion on a fresh simulated machine and
+// returns the measured report. It is deterministic: identical configs
+// (including Seed) produce identical reports.
+func Run(cfg Config, root wl.Task) Report {
+	cfg = cfg.withDefaults()
+	s := &sched{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		mach:        cpu.NewMachine(cfg.Spec),
+		byCore:      map[*cpu.Core]*worker{},
+		prof:        tempo.NewProfiler(cfg.ProfileWindow),
+		root:        root,
+		freqBusy:    map[units.Freq]units.Time{},
+		dvfsCommits: make([]units.Time, cfg.Spec.Domains()),
+	}
+	s.model = power.NewModel(cfg.Spec)
+	s.met = meter.New(s.model, s.mach)
+
+	s.perWorker = make([]WorkerStats, cfg.Workers)
+	cores := s.mach.DistinctDomainCores(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(s, i, cores[i])
+		s.workers = append(s.workers, w)
+		s.byCore[w.core] = w
+		w.core.State = cpu.IdleHalt
+	}
+
+	// Service daemons first, then workers, so worker 0's initial event
+	// lands after theirs at t=0 — irrelevant for correctness, fixed
+	// for determinism.
+	s.dvfsProc = s.eng.Go("dvfsd", s.dvfsLoop)
+	s.profProc = s.eng.Go("profiler", s.profLoop)
+	for _, w := range s.workers {
+		w := w
+		w.proc = s.eng.Go(w.name(), w.run)
+	}
+	s.eng.Run()
+	return s.report
+}
+
+// touch integrates power and frequency residency up to the current
+// virtual time. It must be called before any mutation of machine
+// state (core states, domain frequencies).
+func (s *sched) touch() {
+	now := s.eng.Now()
+	if now > s.lastTouch && !s.frozen {
+		dt := now - s.lastTouch
+		maxF := s.cfg.Spec.MaxFreq()
+		for i, w := range s.workers {
+			f := w.core.Dom.Freq()
+			pw := &s.perWorker[i]
+			switch w.core.State {
+			case cpu.Busy:
+				s.busy += dt
+				s.freqBusy[f] += dt
+				pw.Busy += dt
+				if f != maxF {
+					s.slowBusy += dt
+					pw.SlowBusy += dt
+				}
+			case cpu.Spin:
+				s.spin += dt
+				pw.Spin += dt
+				if f != maxF {
+					pw.SlowSpin += dt
+				}
+			case cpu.IdleHalt:
+				s.idle += dt
+				pw.Idle += dt
+			}
+		}
+		s.lastTouch = now
+	}
+	s.met.Advance(now)
+}
+
+// finish snapshots the report at root completion and releases every
+// parked process so the engine can drain. Called from worker 0.
+func (s *sched) finish() {
+	s.touch()
+	now := s.eng.Now()
+	s.done = true
+	s.finishAt = now
+	samples := make([]meter.Sample, len(s.met.Samples()))
+	copy(samples, s.met.Samples())
+	e := s.met.Energy()
+	span := now
+	s.report = Report{
+		System:        s.cfg.Spec.Name,
+		Workers:       s.cfg.Workers,
+		Mode:          s.cfg.Mode,
+		Sched:         s.cfg.Scheduling,
+		Span:          span,
+		EnergyJ:       e,
+		MeterJ:        s.met.MeterEnergy(),
+		EDP:           meter.EDP(e, span),
+		AvgPowerW:     e / span.Seconds(),
+		Samples:       samples,
+		Tasks:         s.tasks,
+		Spawns:        s.spawns,
+		Steals:        s.steals,
+		FailedSteals:  s.failedSteals,
+		TempoSwitches: s.tempoSwitches,
+		DVFSCommits:   s.dvfsCommitCount,
+		Parks:         s.parks,
+		BusyTime:      s.busy,
+		SpinTime:      s.spin,
+		IdleTime:      s.idle,
+		SlowBusyTime:  s.slowBusy,
+		FreqBusy:      s.freqBusy,
+		PerWorker:     s.perWorker,
+	}
+	s.frozen = true
+	// Wake every parked process so loops observe done and exit.
+	// Worker 0 is the caller (running) and needs no wake.
+	for _, w := range s.workers[1:] {
+		w.proc.Wake()
+	}
+	s.dvfsProc.Wake()
+	s.profProc.Wake()
+}
+
+// --- tempo plumbing -------------------------------------------------
+
+// level returns w's composed tempo level: workpath chain depth plus
+// workload tier deficit (K - S). Level 0 is the fastest tempo.
+func (s *sched) level(w *worker) int {
+	l := w.wpLevel
+	if s.cfg.Mode.workload() {
+		l += w.th.K() - w.th.Tier()
+	}
+	return l
+}
+
+// retune files the DVFS request matching w's current composed level.
+// Levels map onto the N-frequency set by saturation (level i runs at
+// Freqs[min(i, N-1)]), so deep thief chains and workload tiers stack
+// below the slowest frequency without losing their relative order —
+// Figure 3's "a thief's thief" keeps a slower tempo than its victim
+// even when both saturate the frequency range.
+func (s *sched) retune(w *worker) {
+	fi := s.level(w)
+	if max := len(s.cfg.Freqs) - 1; fi > max {
+		fi = max
+	}
+	f := s.cfg.Freqs[fi]
+	if w.core.Req == f && !s.pendingDiffers(w, f) {
+		return
+	}
+	s.tempoSwitches++
+	changed, at := s.mach.Request(w.core, f, s.eng.Now())
+	dom := w.core.Dom
+	if changed {
+		s.dvfsCommits[dom.ID] = at
+		s.dvfsProc.Wake()
+		return
+	}
+	if _, _, pending := dom.Pending(); !pending {
+		s.dvfsCommits[dom.ID] = 0
+	}
+}
+
+// pendingDiffers reports whether the domain is mid-transition to a
+// frequency other than f (so a re-request is still needed).
+func (s *sched) pendingDiffers(w *worker, f units.Freq) bool {
+	target, _, pending := w.core.Dom.Pending()
+	return pending && target != f
+}
+
+// up raises w one workpath level (immediacy relay).
+func (s *sched) up(w *worker) {
+	if w.wpLevel > 0 {
+		w.wpLevel--
+	}
+	s.retune(w)
+}
+
+// downFrom applies thief procrastination: the thief's workpath level
+// sits one below its victim's, capped so pathological chains cannot
+// stack beyond MaxTempoLevels.
+func (s *sched) downFrom(w, victim *worker) {
+	l := victim.wpLevel + 1
+	if max := s.cfg.MaxTempoLevels - 1; l > max {
+		l = max
+	}
+	w.wpLevel = l
+	s.retune(w)
+}
+
+// dvfsLoop is the commit daemon: it sleeps until the earliest pending
+// domain transition, applies it, and re-rates any in-flight work on
+// that domain. New requests wake it early.
+func (s *sched) dvfsLoop(p *sim.Proc) {
+	for {
+		if s.done {
+			return
+		}
+		t := s.earliestCommit()
+		var now units.Time
+		if t == 0 {
+			now = p.ParkUntilWake()
+		} else {
+			now = p.WaitUntil(t)
+		}
+		if s.done {
+			return
+		}
+		for id, at := range s.dvfsCommits {
+			if at == 0 || at > now {
+				continue
+			}
+			d := s.mach.Domains[id]
+			s.touch()
+			if d.Commit(now) {
+				s.dvfsCommitCount++
+				s.onFreqChange(d)
+			}
+			if _, cAt, pending := d.Pending(); pending {
+				s.dvfsCommits[id] = cAt
+			} else {
+				s.dvfsCommits[id] = 0
+			}
+		}
+	}
+}
+
+func (s *sched) earliestCommit() units.Time {
+	var min units.Time
+	for _, at := range s.dvfsCommits {
+		if at != 0 && (min == 0 || at < min) {
+			min = at
+		}
+	}
+	return min
+}
+
+// onFreqChange wakes workers with in-flight CPU work on domain d so
+// they re-rate the remaining cycles at the new frequency.
+func (s *sched) onFreqChange(d *cpu.Domain) {
+	for _, c := range d.Cores {
+		if w := s.byCore[c]; w != nil && w.inWork {
+			w.proc.Wake()
+		}
+	}
+}
+
+// profLoop is the online profiler of Section 3.2: every ProfilePeriod
+// it samples all deque sizes and retunes every worker's thresholds
+// from the rolling average.
+func (s *sched) profLoop(p *sim.Proc) {
+	if !s.cfg.Mode.workload() {
+		return
+	}
+	for {
+		p.Sleep(s.cfg.ProfilePeriod)
+		if s.done {
+			return
+		}
+		sizes := make([]int, len(s.workers))
+		for i, w := range s.workers {
+			sizes[i] = w.dq.Size()
+		}
+		s.prof.Observe(sizes)
+		avg := s.prof.Average()
+		for _, w := range s.workers {
+			w.th.Retune(avg)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hermes/internal/cpu"
+	"hermes/internal/deque"
+	"hermes/internal/sim"
+	"hermes/internal/tempo"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// task is one deque item: a workload closure plus the fork-join block
+// it belongs to.
+type task struct {
+	fn  wl.Task
+	blk *block
+}
+
+// block tracks one Ctx.Go fork-join block: how many of its pushed
+// tasks are still outstanding and, if the owning worker had to park
+// waiting for stolen tasks, who to wake.
+type block struct {
+	pending int
+	waiter  *worker
+}
+
+// worker is one scheduler thread pinned to a core on its own clock
+// domain (the paper's placement).
+type worker struct {
+	s    *sched
+	id   int
+	core *cpu.Core
+	dq   *deque.Deque[*task]
+	proc *sim.Proc
+	rng  *rand.Rand
+
+	// Tempo state. node is the immediacy-list hook (workpath); th the
+	// threshold tiers (workload). The worker's tempo level is the sum
+	// of two components — the workpath chain depth (wpLevel, set by
+	// thief procrastination, lowered by immediacy relays) and the
+	// workload tier deficit (K - S) — mapped onto cfg.Freqs by
+	// saturation. Composing the strategies this way is what makes
+	// their unification additive, matching the paper's observation
+	// that unified savings approach the sum of each strategy alone.
+	node    tempo.Node[*worker]
+	th      *tempo.Thresholds
+	wpLevel int
+
+	// inWork marks an in-flight CPU work segment so the DVFS daemon
+	// knows to wake us for re-rating when our domain's clock changes.
+	inWork bool
+
+	helpDepth int
+	backoff   units.Time
+}
+
+func newWorker(s *sched, id int, c *cpu.Core) *worker {
+	w := &worker{
+		s:    s,
+		id:   id,
+		core: c,
+		dq:   deque.New[*task](64),
+		rng:  rand.New(rand.NewSource(s.cfg.Seed*1_000_003 + int64(id))),
+		th:   tempo.NewThresholds(s.cfg.K, s.cfg.InitialAvgDeque),
+	}
+	w.node.Val = w
+	return w
+}
+
+func (w *worker) name() string { return fmt.Sprintf("worker%d", w.id) }
+
+// run is the process body. Worker 0 executes the root task directly
+// (the program's main); all others enter the SCHEDULE loop.
+func (w *worker) run(p *sim.Proc) {
+	w.proc = p
+	if w.id == 0 {
+		w.runTask(&task{fn: w.s.root})
+		w.s.finish()
+		return
+	}
+	w.schedule()
+}
+
+// schedule is Algorithm 3.1: pop local work; failing that, relay
+// immediacy and unlink (out of work), then steal; failing that, yield.
+func (w *worker) schedule() {
+	for {
+		if w.s.done {
+			return
+		}
+		if t, ok := w.popLocal(); ok {
+			w.runTask(t)
+			continue
+		}
+		w.outOfWork()
+		if t, ok := w.stealRound(); ok {
+			w.backoff = 0
+			w.runTask(t)
+			continue
+		}
+		w.yield()
+	}
+}
+
+// setState transitions the hosting core's activity state, integrating
+// power first.
+func (w *worker) setState(st cpu.CoreState) {
+	if w.core.State == st {
+		return
+	}
+	w.s.touch()
+	w.core.State = st
+}
+
+// popLocal pops the worker's own tail (Figure 5 POP), charging the
+// local-deque cost and applying the workload-sensitive shrink check.
+func (w *worker) popLocal() (*task, bool) {
+	t, ok := w.dq.Pop()
+	if !ok {
+		return nil, false
+	}
+	w.setState(cpu.Busy)
+	w.proc.Sleep(w.s.cfg.PushPopCost)
+	w.afterShrink()
+	return t, true
+}
+
+// push places a spawned task on the worker's own tail (Figure 5
+// PUSH): deque op cost, then the workload-sensitive growth check.
+func (w *worker) push(t *task) {
+	w.s.spawns++
+	w.dq.Push(t)
+	w.proc.Sleep(w.s.cfg.PushPopCost)
+	if w.s.cfg.Mode.workload() {
+		if w.th.WouldRaise(w.dq.Size()) {
+			w.th.Raise()
+			// A deque that climbs past the top threshold marks a
+			// worker with substantial pending work: immediacy has
+			// effectively transferred to it, so any remaining thief
+			// procrastination is shed. This is the unified
+			// algorithm's loss guard — light thieves stay slow
+			// (energy), loaded thieves run fast (time).
+			if w.th.Tier() == w.th.K() && w.wpLevel > 0 {
+				w.wpLevel = 0
+			}
+			w.s.retune(w)
+		}
+	}
+}
+
+// afterShrink applies Figure 5's POP tail check: a deque that shrank
+// below the current tier's threshold lowers the tempo — unless the
+// worker holds the most immediate work (head of the immediacy list).
+func (w *worker) afterShrink() {
+	if !w.s.cfg.Mode.workload() {
+		return
+	}
+	atHead := w.s.cfg.Mode.workpath() && w.node.AtHead()
+	if !atHead && w.th.WouldLower(w.dq.Size()) {
+		w.th.Lower()
+		w.s.retune(w)
+	}
+}
+
+// afterStolenFrom applies Figure 5's STEAL check on the victim side.
+func (w *worker) afterStolenFrom() {
+	w.afterShrink()
+}
+
+// outOfWork runs Algorithm 3.1 lines 6–14: the worker's deque is
+// empty, so any thief-victim relationships it anchored terminate —
+// immediacy is relayed down the chain (each downstream worker speeds
+// up one level) and the worker leaves the list. Idempotent while the
+// worker stays out of the list.
+func (w *worker) outOfWork() {
+	if !w.s.cfg.Mode.workpath() || !w.node.InList() {
+		return
+	}
+	w.node.Relay(func(x *worker) { w.s.up(x) })
+	w.node.Unlink()
+}
+
+// selectVictim picks a uniformly random other worker.
+func (w *worker) selectVictim() *worker {
+	n := len(w.s.workers)
+	if n == 1 {
+		return w
+	}
+	j := w.rng.Intn(n - 1)
+	if j >= w.id {
+		j++
+	}
+	return w.s.workers[j]
+}
+
+// stealRound probes every other worker once, starting from a random
+// victim and sweeping cyclically (the usual randomized SELECT loop),
+// until a steal lands or the round is exhausted.
+func (w *worker) stealRound() (*task, bool) {
+	n := len(w.s.workers)
+	if n == 1 {
+		return nil, false
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.s.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if w.s.done {
+			return nil, false
+		}
+		if t, ok := w.stealFrom(v); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// stealFrom attempts to steal the head of v's deque, spending the
+// steal cost spinning. On success it applies the thief-side tempo
+// rules: thief procrastination (workpath: one level slower than the
+// victim, inserted after it on the immediacy list) or the
+// deque-size-derived tempo of Figure 4 (workload-only), plus the
+// victim-side shrink check.
+func (w *worker) stealFrom(v *worker) (*task, bool) {
+	if v == w {
+		return nil, false
+	}
+	w.setState(cpu.Spin)
+	w.proc.Sleep(w.s.cfg.StealCost)
+	if w.s.done {
+		return nil, false
+	}
+	t, ok := v.dq.Steal()
+	if !ok {
+		w.s.failedSteals++
+		return nil, false
+	}
+	w.s.steals++
+	w.s.perWorker[w.id].Steals++
+	if w.s.cfg.Mode.workpath() {
+		// Thief procrastination: one workpath level below the victim,
+		// inserted after it on the immediacy list.
+		w.s.downFrom(w, v)
+		tempo.InsertThief(&w.node, &v.node)
+	} else if w.s.cfg.Mode.workload() {
+		// Figure 4(b): the fresh thief's tempo comes from its own
+		// deque size — empty deque, lowest tier.
+		w.th.SetTier(w.th.TierFor(w.dq.Size()))
+		w.s.retune(w)
+	}
+	v.afterStolenFrom()
+	return t, true
+}
+
+// yield backs off after a failed steal round, spinning at the core's
+// current tempo (the paper does not adjust frequency for idle
+// workers). Backoff grows exponentially to a cap and resets on the
+// next successful pop or steal.
+func (w *worker) yield() {
+	if w.backoff == 0 {
+		w.backoff = w.s.cfg.YieldSpin
+	} else {
+		w.backoff *= 2
+		if w.backoff > w.s.cfg.YieldSpinMax {
+			w.backoff = w.s.cfg.YieldSpinMax
+		}
+	}
+	w.setState(cpu.Spin)
+	w.proc.Sleep(w.backoff)
+}
+
+// runTask executes one task: under dynamic scheduling the worker pays
+// the affinity set/reset cost around the WORK invocation
+// (Section 3.4); on completion the task's block is notified.
+func (w *worker) runTask(t *task) {
+	w.setState(cpu.Busy)
+	if w.s.cfg.Scheduling == Dynamic {
+		w.proc.Sleep(2 * w.s.cfg.AffinityCost)
+	}
+	w.s.tasks++
+	t.fn(ctx{w})
+	if blk := t.blk; blk != nil {
+		blk.pending--
+		if blk.pending == 0 && blk.waiter != nil {
+			waiter := blk.waiter
+			blk.waiter = nil
+			waiter.proc.Wake()
+		}
+	}
+}
+
+// join completes a fork-join block: run the block's own pushed tasks
+// from the local tail; once they are gone (run or stolen), help by
+// stealing elsewhere — going through the same out-of-work tempo path
+// as the main loop — and, past the help-depth cap, park until the
+// block drains.
+func (w *worker) join(blk *block) {
+	localExhausted := false
+	for blk.pending > 0 {
+		if w.s.done {
+			return
+		}
+		if !localExhausted {
+			if t, ok := w.dq.Pop(); ok {
+				if t.blk != blk {
+					// Tail belongs to an enclosing block: not legal to
+					// run before this join completes. Put it back (same
+					// position) and stop popping — our remaining block
+					// tasks were stolen.
+					w.dq.Push(t)
+					localExhausted = true
+				} else {
+					w.setState(cpu.Busy)
+					w.proc.Sleep(w.s.cfg.PushPopCost)
+					w.afterShrink()
+					w.runTask(t)
+					w.setState(cpu.Busy)
+					continue
+				}
+			} else {
+				localExhausted = true
+			}
+		}
+		if blk.pending == 0 {
+			break
+		}
+		if w.helpDepth >= w.s.cfg.MaxHelpDepth {
+			w.parkOnBlock(blk)
+			continue
+		}
+		w.outOfWork()
+		if t, ok := w.stealRound(); ok {
+			w.backoff = 0
+			w.helpDepth++
+			w.runTask(t)
+			w.helpDepth--
+			w.setState(cpu.Busy)
+			continue
+		}
+		if blk.pending == 0 {
+			break
+		}
+		w.yield()
+	}
+	w.setState(cpu.Busy)
+}
+
+// parkOnBlock halts the core until the block's last task completes.
+func (w *worker) parkOnBlock(blk *block) {
+	if blk.pending == 0 {
+		return
+	}
+	blk.waiter = w
+	w.s.parks++
+	w.setState(cpu.IdleHalt)
+	w.proc.ParkUntilWake()
+	w.setState(cpu.Busy)
+}
+
+// workCycles advances virtual time by c cycles at the core's current
+// frequency, re-rating the remainder whenever the clock domain
+// commits a DVFS transition mid-segment.
+func (w *worker) workCycles(c units.Cycles) {
+	rem := c
+	for rem > 0 {
+		f := w.core.Dom.Freq()
+		start := w.s.eng.Now()
+		end := start + rem.DurationAt(f)
+		w.inWork = true
+		resumed := w.proc.WaitUntil(end)
+		w.inWork = false
+		if resumed >= end {
+			return // full segment retired at constant frequency
+		}
+		done := units.CyclesIn(resumed-start, f)
+		if done >= rem {
+			return
+		}
+		rem -= done
+	}
+}
+
+// memWork advances frequency-independent time (memory-bound stalls).
+func (w *worker) memWork(d units.Time) {
+	if d <= 0 {
+		return
+	}
+	end := w.s.eng.Now() + d
+	for {
+		if w.proc.WaitUntil(end) >= end {
+			return
+		}
+		// Spurious wake (e.g. run teardown); re-park until done.
+		if w.s.done {
+			return
+		}
+	}
+}
+
+// --- wl.Ctx implementation ------------------------------------------
+
+// ctx adapts a worker to the workload API.
+type ctx struct{ w *worker }
+
+var _ wl.Ctx = ctx{}
+
+// Go implements Cilk block semantics: push tasks[n-1]…tasks[1] (so
+// the head of the deque holds the serially-latest work), run tasks[0]
+// inline, then join.
+func (c ctx) Go(tasks ...wl.Task) {
+	w := c.w
+	switch len(tasks) {
+	case 0:
+		return
+	case 1:
+		tasks[0](c)
+		return
+	}
+	blk := &block{pending: len(tasks) - 1}
+	for i := len(tasks) - 1; i >= 1; i-- {
+		w.push(&task{fn: tasks[i], blk: blk})
+	}
+	tasks[0](c)
+	w.join(blk)
+}
+
+// Work accounts CPU-bound cycles.
+func (c ctx) Work(cy units.Cycles) {
+	if cy > 0 {
+		c.w.workCycles(cy)
+	}
+}
+
+// Mem accounts frequency-independent stall time.
+func (c ctx) Mem(d units.Time) { c.w.memWork(d) }
+
+// WorkMix splits c into a CPU-bound part (scales with DVFS) and a
+// memory-bound part (converted to time at the machine's maximum
+// frequency, insensitive to DVFS).
+func (c ctx) WorkMix(cy units.Cycles, memFrac float64) {
+	if memFrac < 0 {
+		memFrac = 0
+	}
+	if memFrac > 1 {
+		memFrac = 1
+	}
+	memCycles := units.Cycles(float64(cy) * memFrac)
+	c.Work(cy - memCycles)
+	c.Mem(memCycles.DurationAt(c.w.s.cfg.Spec.MaxFreq()))
+}
+
+// Worker returns the executing worker id.
+func (c ctx) Worker() int { return c.w.id }

@@ -1,0 +1,291 @@
+package deque
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyPop(t *testing.T) {
+	d := New[int](4)
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty deque succeeded")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque succeeded")
+	}
+	if d.Size() != 0 || !d.Empty() {
+		t.Fatal("empty deque reports non-zero size")
+	}
+}
+
+func TestOwnerLIFO(t *testing.T) {
+	d := New[int](2)
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	if d.Size() != 10 {
+		t.Fatalf("size = %d, want 10", d.Size())
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop succeeded on drained deque")
+	}
+}
+
+func TestThiefFIFO(t *testing.T) {
+	d := New[int](2)
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal succeeded on drained deque")
+	}
+}
+
+// TestFigure1Sequence replays the deque behaviour of Figure 1 of the
+// paper for core 2: a spawn pushes the continuation (7 time units), a
+// thief steals from the head, and later the owner pops from the tail.
+func TestFigure1Sequence(t *testing.T) {
+	core2 := New[int](4)
+	// Fig 1(a): core 2's deque holds 9 (head) and 7 (tail).
+	core2.Push(9)
+	core2.Push(7)
+	// Fig 1(b): spawn pushes a continuation worth 7 units to the tail.
+	core2.Push(71) // marker value for the new tail item
+	// Fig 1(c): idle core 4 steals from the head → must get 9.
+	v, ok := core2.Steal()
+	if !ok || v != 9 {
+		t.Fatalf("thief stole %d, want head item 9", v)
+	}
+	// Fig 1(f): owner pops from the tail → most recently pushed item.
+	v, ok = core2.Pop()
+	if !ok || v != 71 {
+		t.Fatalf("owner popped %d, want tail item 71", v)
+	}
+	if core2.Size() != 1 {
+		t.Fatalf("size = %d, want 1", core2.Size())
+	}
+}
+
+func TestGrowPreservesOrder(t *testing.T) {
+	d := New[int](1)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < n/2; i++ {
+		if v, ok := d.Steal(); !ok || v != i {
+			t.Fatalf("steal %d: got %d,%v", i, v, ok)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		if v, ok := d.Pop(); !ok || v != i {
+			t.Fatalf("pop %d: got %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInterleavedReuse(t *testing.T) {
+	// Repeatedly drain and refill so absolute indices march forward;
+	// compaction must keep everything consistent.
+	d := New[int](4)
+	next := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 7; i++ {
+			d.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := d.Steal(); !ok {
+				t.Fatal("steal failed on non-empty deque")
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := d.Pop(); !ok {
+				t.Fatal("pop failed on non-empty deque")
+			}
+		}
+		if d.Size() != 0 {
+			t.Fatalf("round %d: size = %d, want 0", round, d.Size())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New[int](4)
+	d.Push(1)
+	d.Push(2)
+	d.Pop()
+	d.Steal()
+	d.Steal() // fails
+	pushes, pops, steals, failed := d.Stats()
+	if pushes != 2 || pops != 1 || steals != 1 || failed != 1 {
+		t.Fatalf("stats = %d,%d,%d,%d", pushes, pops, steals, failed)
+	}
+}
+
+// opSequence applies a random op string against both the deque and a
+// reference slice model, checking every result. Ops: 'u' push, 'o'
+// pop, 's' steal.
+func runModelCheck(ops []byte) bool {
+	d := New[int](1)
+	var model []int
+	next := 0
+	for _, op := range ops {
+		switch op % 3 {
+		case 0: // push
+			d.Push(next)
+			model = append(model, next)
+			next++
+		case 1: // pop (tail of model)
+			v, ok := d.Pop()
+			if len(model) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			want := model[len(model)-1]
+			model = model[:len(model)-1]
+			if !ok || v != want {
+				return false
+			}
+		case 2: // steal (head of model)
+			v, ok := d.Steal()
+			if len(model) == 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			want := model[0]
+			model = model[1:]
+			if !ok || v != want {
+				return false
+			}
+		}
+		if d.Size() != len(model) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestModelProperty(t *testing.T) {
+	if err := quick.Check(runModelCheck, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentNoLossNoDup hammers one owner against several thieves
+// and checks that every pushed item is consumed exactly once.
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		items   = 20000
+		thieves = 4
+	)
+	d := New[int](8)
+	var mu sync.Mutex
+	seen := make(map[int]int, items)
+	record := func(v int) {
+		mu.Lock()
+		seen[v]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					record(v)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after the owner stops.
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < items; i++ {
+		d.Push(i)
+		if rng.Intn(3) == 0 {
+			if v, ok := d.Pop(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(done)
+	wg.Wait()
+	// One more owner drain in case thieves backed off before the last
+	// push became visible.
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+
+	if len(seen) != items {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), items)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d consumed %d times", v, n)
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](64)
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkStealUncontended(b *testing.B) {
+	d := New[int](64)
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}

@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Ops(t *testing.T) {
+	a, b := Vec2{3, 4}, Vec2{1, 1}
+	if d := a.Sub(b); d.X != 2 || d.Y != 3 {
+		t.Fatalf("Sub = %v", d)
+	}
+	if c := (Vec2{1, 0}).Cross(Vec2{0, 1}); c != 1 {
+		t.Fatalf("Cross = %v", c)
+	}
+	if d2 := a.Dist2(Vec2{0, 0}); d2 != 25 {
+		t.Fatalf("Dist2 = %v", d2)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	if s := a.Scale(2); s != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", s)
+	}
+	if d := a.Dot(Vec3{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %v", d)
+	}
+	x := Vec3{1, 0, 0}.Cross(Vec3{0, 1, 0})
+	if x != (Vec3{0, 0, 1}) {
+		t.Fatalf("Cross = %v", x)
+	}
+}
+
+func TestRayTriangleHit(t *testing.T) {
+	tri := Triangle{A: Vec3{0, 0, 1}, B: Vec3{1, 0, 1}, C: Vec3{0, 1, 1}}
+	r := Ray{O: Vec3{0.2, 0.2, 0}, D: Vec3{0, 0, 1}}
+	d, ok := r.IntersectTriangle(tri)
+	if !ok || math.Abs(d-1) > 1e-12 {
+		t.Fatalf("hit = %v,%v, want t=1", d, ok)
+	}
+	// Ray pointing away misses.
+	r.D = Vec3{0, 0, -1}
+	if _, ok := r.IntersectTriangle(tri); ok {
+		t.Fatal("backwards ray reported a hit")
+	}
+	// Ray outside the triangle misses.
+	r = Ray{O: Vec3{2, 2, 0}, D: Vec3{0, 0, 1}}
+	if _, ok := r.IntersectTriangle(tri); ok {
+		t.Fatal("outside ray reported a hit")
+	}
+	// Parallel ray misses.
+	r = Ray{O: Vec3{0, 0, 0}, D: Vec3{1, 0, 0}}
+	if _, ok := r.IntersectTriangle(tri); ok {
+		t.Fatal("parallel ray reported a hit")
+	}
+}
+
+func TestAABBExtendUnion(t *testing.T) {
+	bb := EmptyAABB()
+	bb.Extend(Vec3{1, 2, 3})
+	bb.Extend(Vec3{-1, 0, 5})
+	if bb.Min != (Vec3{-1, 0, 3}) || bb.Max != (Vec3{1, 2, 5}) {
+		t.Fatalf("bounds = %v", bb)
+	}
+	other := EmptyAABB()
+	other.Extend(Vec3{10, 10, 10})
+	bb.Union(other)
+	if bb.Max != (Vec3{10, 10, 10}) {
+		t.Fatalf("union max = %v", bb.Max)
+	}
+}
+
+func TestLongestAxis(t *testing.T) {
+	bb := AABB{Min: Vec3{0, 0, 0}, Max: Vec3{1, 5, 2}}
+	if a := bb.LongestAxis(); a != 1 {
+		t.Fatalf("axis = %d, want 1", a)
+	}
+}
+
+func TestAABBRay(t *testing.T) {
+	bb := AABB{Min: Vec3{0, 0, 0}, Max: Vec3{1, 1, 1}}
+	hit := Ray{O: Vec3{0.5, 0.5, -1}, D: Vec3{0, 0, 1}}
+	if !bb.IntersectRay(hit, 100) {
+		t.Fatal("central ray should hit the box")
+	}
+	if bb.IntersectRay(hit, 0.5) {
+		t.Fatal("tMax shorter than box entry should miss")
+	}
+	miss := Ray{O: Vec3{5, 5, -1}, D: Vec3{0, 0, 1}}
+	if bb.IntersectRay(miss, 100) {
+		t.Fatal("offset ray should miss the box")
+	}
+	par := Ray{O: Vec3{-1, 0.5, 0.5}, D: Vec3{0, 1, 0}} // parallel to x slabs, outside
+	if bb.IntersectRay(par, 100) {
+		t.Fatal("outside axis-parallel ray should miss")
+	}
+}
+
+func TestRayHitInsideTriangleBoundsProperty(t *testing.T) {
+	// Any reported hit point must lie inside the triangle's AABB
+	// (within epsilon).
+	f := func(ox, oy uint8, seed int64) bool {
+		tris := RandomTriangles(4, seed)
+		r := Ray{
+			O: Vec3{float64(ox)/255 - 0.5, float64(oy)/255 - 0.5, -2},
+			D: Vec3{0.1, 0.1, 1},
+		}
+		for _, tri := range tris {
+			d, ok := r.IntersectTriangle(tri)
+			if !ok {
+				continue
+			}
+			p := r.O.Add(r.D.Scale(d))
+			bb := tri.Bounds()
+			const eps = 1e-9
+			if p.X < bb.Min.X-eps || p.X > bb.Max.X+eps ||
+				p.Y < bb.Min.Y-eps || p.Y > bb.Max.Y+eps ||
+				p.Z < bb.Min.Z-eps || p.Z > bb.Max.Z+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomPoints2(100, 42)
+	b := RandomPoints2(100, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomPoints2 not deterministic")
+		}
+	}
+	t1 := RandomTriangles(10, 7)
+	t2 := RandomTriangles(10, 7)
+	if t1[9] != t2[9] {
+		t.Fatal("RandomTriangles not deterministic")
+	}
+	r1 := RandomRays(10, 7)
+	r2 := RandomRays(10, 7)
+	if r1[9] != r2[9] {
+		t.Fatal("RandomRays not deterministic")
+	}
+	c := RandomPoints2(100, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical points")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	tri := Triangle{A: Vec3{0, 0, 0}, B: Vec3{3, 0, 0}, C: Vec3{0, 3, 0}}
+	if c := tri.Centroid(); c != (Vec3{1, 1, 0}) {
+		t.Fatalf("centroid = %v", c)
+	}
+}

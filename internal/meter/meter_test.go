@@ -1,0 +1,113 @@
+package meter
+
+import (
+	"math"
+	"testing"
+
+	"hermes/internal/cpu"
+	"hermes/internal/power"
+	"hermes/internal/units"
+)
+
+func newRig() (*power.Model, *cpu.Machine, *Meter) {
+	spec := cpu.SystemB()
+	model := power.NewModel(spec)
+	mach := cpu.NewMachine(spec)
+	return model, mach, New(model, mach)
+}
+
+func TestConstantPowerIntegration(t *testing.T) {
+	model, mach, m := newRig()
+	w := model.MachineWatts(mach)
+	m.Advance(1 * units.Second)
+	if got := m.Energy(); math.Abs(got-w) > 1e-9 {
+		t.Fatalf("1s at %.3f W integrated to %.3f J", w, got)
+	}
+}
+
+func TestPiecewiseIntegration(t *testing.T) {
+	model, mach, m := newRig()
+	w0 := model.MachineWatts(mach)
+	m.Advance(500 * units.Millisecond) // 0.5 s at w0
+	mach.Cores[0].State = cpu.Busy     // mutate after Advance
+	w1 := model.MachineWatts(mach)
+	m.Advance(1 * units.Second) // 0.5 s at w1
+	want := 0.5*w0 + 0.5*w1
+	if got := m.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("piecewise energy = %.4f, want %.4f", got, want)
+	}
+}
+
+func TestAdvanceIdempotentAtSameTime(t *testing.T) {
+	_, _, m := newRig()
+	m.Advance(10 * units.Millisecond)
+	e := m.Energy()
+	m.Advance(10 * units.Millisecond)
+	if m.Energy() != e {
+		t.Fatal("Advance at the same time must not add energy")
+	}
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	_, _, m := newRig()
+	m.Advance(time10())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards time")
+		}
+	}()
+	m.Advance(time10() - 1)
+}
+
+func time10() units.Time { return 10 * units.Millisecond }
+
+func TestSampler100Hz(t *testing.T) {
+	_, _, m := newRig()
+	m.Advance(1 * units.Second)
+	// Samples at t = 0, 10ms, …, 1000ms inclusive → 101 samples.
+	if n := len(m.Samples()); n != 101 {
+		t.Fatalf("got %d samples over 1s, want 101", n)
+	}
+	s := m.Samples()[0]
+	if s.Amps*SupplyVolts != s.Watts {
+		t.Fatalf("sample amps inconsistent: %v", s)
+	}
+}
+
+func TestMeterEnergyApproximatesIntegral(t *testing.T) {
+	model, mach, m := newRig()
+	// Alternate machine state every 100 ms for 2 s.
+	for i := 1; i <= 20; i++ {
+		m.Advance(units.Time(i) * 100 * units.Millisecond)
+		if i%2 == 0 {
+			mach.Cores[0].State = cpu.Busy
+		} else {
+			mach.Cores[0].State = cpu.IdleHalt
+		}
+	}
+	exact := m.Energy()
+	sampled := m.MeterEnergy()
+	if exact <= 0 {
+		t.Fatal("no energy integrated")
+	}
+	// The DAQ emulation should agree with the integral within a few
+	// percent plus one extra boundary sample.
+	if rel := math.Abs(sampled-exact) / exact; rel > 0.05 {
+		t.Fatalf("meter %.3f J vs exact %.3f J (%.1f%% off)", sampled, exact, 100*rel)
+	}
+	_ = model
+}
+
+func TestEDP(t *testing.T) {
+	if got := EDP(10, 2*units.Second); got != 20 {
+		t.Fatalf("EDP = %v, want 20", got)
+	}
+}
+
+func TestNow(t *testing.T) {
+	_, _, m := newRig()
+	m.Advance(42 * units.Microsecond)
+	if m.Now() != 42*units.Microsecond {
+		t.Fatalf("Now = %v", m.Now())
+	}
+}

@@ -1,0 +1,472 @@
+// Package rt is the real-concurrency executor: the same HERMES
+// scheduling algorithms as internal/core — THE-protocol deques, thief
+// procrastination, immediacy relays, workload thresholds — run by
+// actual goroutine workers in parallel on the host.
+//
+// Since the host exposes neither per-domain DVFS nor an energy meter,
+// tempo control here is emulated and accounted rather than physically
+// applied: a worker at tempo frequency f executes declared Work cycles
+// at rate f in wall-clock time (slow tempos genuinely take longer),
+// and energy integrates the same calibrated power model over
+// wall-clock residency. Real computation inside tasks runs at native
+// speed regardless. The executor therefore demonstrates and tests the
+// algorithms under true parallelism (including the race behaviour of
+// the deques), while the discrete-event executor in internal/core
+// remains the measurement instrument.
+//
+// Unlike the simulator, runs are not deterministic: the OS scheduler
+// decides races, exactly as on the paper's machines.
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/cpu"
+	"hermes/internal/deque"
+	"hermes/internal/power"
+	"hermes/internal/tempo"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// Config configures a real-concurrency run.
+type Config struct {
+	// Spec selects the machine model used for tempo frequencies and
+	// power accounting. Defaults to cpu.SystemB (small enough that a
+	// typical host can host one worker per modeled domain).
+	Spec *cpu.Spec
+	// Workers defaults to min(GOMAXPROCS, domains).
+	Workers int
+	// Hermes enables unified tempo control; false runs the baseline.
+	Hermes bool
+	// Freqs is the N-frequency tempo set (defaults per system).
+	Freqs []units.Freq
+	// K is the workload threshold count (default 2).
+	K int
+	// InitialAvgDeque seeds thresholds (default 2).
+	InitialAvgDeque float64
+	// Seed for victim selection.
+	Seed int64
+}
+
+// Report summarizes a real run.
+type Report struct {
+	Span    time.Duration
+	EnergyJ float64 // modeled energy over wall-clock residency
+	Tasks   int64
+	Steals  int64
+	Spawns  int64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("rt: span=%v energy=%.2fJ tasks=%d steals=%d",
+		r.Span, r.EnergyJ, r.Tasks, r.Steals)
+}
+
+type task struct {
+	fn  wl.Task
+	blk *block
+}
+
+type block struct {
+	pending atomic.Int64
+	done    chan struct{} // closed when pending reaches zero
+}
+
+type worker struct {
+	e    *executor
+	id   int
+	core *cpu.Core
+	dq   *deque.Deque[*task]
+	rng  *rand.Rand
+
+	node    tempo.Node[*worker]
+	th      *tempo.Thresholds
+	wpLevel int
+}
+
+type executor struct {
+	cfg     Config
+	mach    *cpu.Machine
+	model   *power.Model
+	workers []*worker
+
+	// tempoMu serializes all tempo state (immediacy list, levels,
+	// thresholds, frequency votes). Tempo events are rare relative to
+	// task execution, so one lock is cheap and keeps the cross-worker
+	// list mutations safe.
+	tempoMu sync.Mutex
+
+	// Energy accounting: piecewise integration over wall time.
+	meterMu   sync.Mutex
+	lastTouch time.Time
+	joules    float64
+
+	tasks, steals, spawns atomic.Int64
+	done                  atomic.Bool
+	wg                    sync.WaitGroup
+}
+
+// Run executes root on real goroutine workers and returns the report.
+func Run(cfg Config, root wl.Task) Report {
+	if cfg.Spec == nil {
+		cfg.Spec = cpu.SystemB()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if d := cfg.Spec.Domains(); cfg.Workers > d {
+			cfg.Workers = d
+		}
+	}
+	if cfg.Workers < 1 || cfg.Workers > cfg.Spec.Domains() {
+		panic(fmt.Sprintf("rt: %d workers not supported on %s", cfg.Workers, cfg.Spec.Name))
+	}
+	if len(cfg.Freqs) == 0 {
+		cfg.Freqs = defaultFreqs(cfg.Spec)
+	}
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	if cfg.InitialAvgDeque == 0 {
+		cfg.InitialAvgDeque = 2
+	}
+
+	e := &executor{
+		cfg:       cfg,
+		mach:      cpu.NewMachine(cfg.Spec),
+		model:     power.NewModel(cfg.Spec),
+		lastTouch: time.Now(),
+	}
+	cores := e.mach.DistinctDomainCores(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			e:    e,
+			id:   i,
+			core: cores[i],
+			dq:   deque.New[*task](64),
+			rng:  rand.New(rand.NewSource(cfg.Seed*7_919 + int64(i))),
+			th:   tempo.NewThresholds(cfg.K, cfg.InitialAvgDeque),
+		}
+		w.node.Val = w
+		w.core.State = cpu.IdleHalt
+		e.workers = append(e.workers, w)
+	}
+
+	start := time.Now()
+	rootBlk := &block{done: make(chan struct{})}
+	rootBlk.pending.Store(1)
+	e.workers[0].dq.Push(&task{fn: root, blk: rootBlk})
+
+	for _, w := range e.workers[1:] {
+		e.wg.Add(1)
+		go func(w *worker) {
+			defer e.wg.Done()
+			w.loop()
+		}(w)
+	}
+	// Worker 0 participates too.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.workers[0].loop()
+	}()
+
+	<-rootBlk.done
+	e.done.Store(true)
+	e.wg.Wait()
+	e.touch() // final integration
+	return Report{
+		Span:    time.Since(start),
+		EnergyJ: e.joules,
+		Tasks:   e.tasks.Load(),
+		Steals:  e.steals.Load(),
+		Spawns:  e.spawns.Load(),
+	}
+}
+
+func defaultFreqs(spec *cpu.Spec) []units.Freq {
+	switch spec.Name {
+	case "SystemA":
+		return []units.Freq{2_400_000 * units.KHz, 1_600_000 * units.KHz}
+	default:
+		return []units.Freq{spec.MaxFreq(), spec.Points[2].F}
+	}
+}
+
+// mutate integrates modeled power up to now under meterMu, then
+// applies fn to machine state. All reads and writes of core states and
+// domain frequencies go through meterMu, so the integration always
+// sees a consistent machine and the race detector stays quiet. Lock
+// order: tempoMu (if held) before meterMu.
+func (e *executor) mutate(fn func()) {
+	e.meterMu.Lock()
+	now := time.Now()
+	dt := now.Sub(e.lastTouch).Seconds()
+	if dt > 0 {
+		e.joules += e.model.MachineWatts(e.mach) * dt
+		e.lastTouch = now
+	}
+	if fn != nil {
+		fn()
+	}
+	e.meterMu.Unlock()
+}
+
+// touch integrates power with no state change.
+func (e *executor) touch() { e.mutate(nil) }
+
+func (w *worker) setState(st cpu.CoreState) {
+	w.e.mutate(func() {
+		w.core.State = st
+	})
+}
+
+// freq reads the worker's current domain frequency consistently.
+func (w *worker) freq() units.Freq {
+	w.e.meterMu.Lock()
+	f := w.core.Dom.Freq()
+	w.e.meterMu.Unlock()
+	return f
+}
+
+// loop is Algorithm 3.1 on a real goroutine.
+func (w *worker) loop() {
+	backoff := time.Microsecond * 20
+	for !w.e.done.Load() {
+		if t, ok := w.popLocal(); ok {
+			w.runTask(t)
+			backoff = 20 * time.Microsecond
+			continue
+		}
+		w.outOfWork()
+		if t, ok := w.stealRound(); ok {
+			w.runTask(t)
+			backoff = 20 * time.Microsecond
+			continue
+		}
+		w.setState(cpu.Spin)
+		time.Sleep(backoff)
+		if backoff < 200*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (w *worker) popLocal() (*task, bool) {
+	t, ok := w.dq.Pop()
+	if !ok {
+		return nil, false
+	}
+	w.afterShrink()
+	return t, true
+}
+
+func (w *worker) push(t *task) {
+	w.e.spawns.Add(1)
+	w.dq.Push(t)
+	if !w.e.cfg.Hermes {
+		return
+	}
+	w.e.tempoMu.Lock()
+	if w.th.WouldRaise(w.dq.Size()) {
+		w.th.Raise()
+		if w.th.Tier() == w.th.K() && w.wpLevel > 0 {
+			w.wpLevel = 0 // top-tier veto, as in internal/core
+		}
+		w.retuneLocked()
+	}
+	w.e.tempoMu.Unlock()
+}
+
+func (w *worker) afterShrink() {
+	if !w.e.cfg.Hermes {
+		return
+	}
+	w.e.tempoMu.Lock()
+	if !w.node.AtHead() && w.th.WouldLower(w.dq.Size()) {
+		w.th.Lower()
+		w.retuneLocked()
+	}
+	w.e.tempoMu.Unlock()
+}
+
+func (w *worker) outOfWork() {
+	if !w.e.cfg.Hermes {
+		return
+	}
+	w.e.tempoMu.Lock()
+	if w.node.InList() {
+		w.node.Relay(func(x *worker) {
+			if x.wpLevel > 0 {
+				x.wpLevel--
+			}
+			x.retuneLocked()
+		})
+		w.node.Unlink()
+	}
+	w.e.tempoMu.Unlock()
+}
+
+func (w *worker) stealRound() (*task, bool) {
+	n := len(w.e.workers)
+	if n == 1 {
+		return nil, false
+	}
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.e.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t, ok := v.dq.Steal(); ok {
+			w.e.steals.Add(1)
+			if w.e.cfg.Hermes {
+				w.e.tempoMu.Lock()
+				w.wpLevel = v.wpLevel + 1
+				if max := len(w.e.cfg.Freqs) + 1; w.wpLevel > max {
+					w.wpLevel = max
+				}
+				if !w.node.InList() {
+					tempo.InsertThief(&w.node, &v.node)
+				}
+				w.retuneLocked()
+				// Victim-side shrink check (Figure 5 STEAL).
+				if !v.node.AtHead() && v.th.WouldLower(v.dq.Size()) {
+					v.th.Lower()
+					v.retuneLocked()
+				}
+				w.e.tempoMu.Unlock()
+			}
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// retuneLocked applies the composed level as the core's frequency
+// vote. Transitions commit immediately (the host has no modeled
+// latency daemon); tempoMu must be held.
+func (w *worker) retuneLocked() {
+	level := w.wpLevel + (w.th.K() - w.th.Tier())
+	fi := level
+	if max := len(w.e.cfg.Freqs) - 1; fi > max {
+		fi = max
+	}
+	f := w.e.cfg.Freqs[fi]
+	w.e.mutate(func() {
+		if w.core.Req == f {
+			return
+		}
+		w.e.mach.Request(w.core, f, 0)
+		w.core.Dom.ForceFreq(f)
+	})
+}
+
+func (w *worker) runTask(t *task) {
+	w.setState(cpu.Busy)
+	w.e.tasks.Add(1)
+	t.fn(ctx{w})
+	if t.blk != nil && t.blk.pending.Add(-1) == 0 {
+		close(t.blk.done)
+	}
+}
+
+// join drains a block: run own-block tasks from the local tail, help
+// by stealing, and finally wait on the block channel.
+func (w *worker) join(blk *block) {
+	for blk.pending.Load() > 0 {
+		if t, ok := w.dq.Pop(); ok {
+			if t.blk != blk {
+				w.dq.Push(t) // enclosing block's task; not runnable yet
+			} else {
+				w.afterShrink()
+				w.runTask(t)
+				continue
+			}
+		}
+		if blk.pending.Load() == 0 {
+			return
+		}
+		w.outOfWork()
+		if t, ok := w.stealRound(); ok {
+			w.runTask(t)
+			continue
+		}
+		select {
+		case <-blk.done:
+			return
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// ctx implements wl.Ctx over a real worker.
+type ctx struct{ w *worker }
+
+var _ wl.Ctx = ctx{}
+
+func (c ctx) Go(tasks ...wl.Task) {
+	w := c.w
+	switch len(tasks) {
+	case 0:
+		return
+	case 1:
+		tasks[0](c)
+		return
+	}
+	blk := &block{done: make(chan struct{})}
+	blk.pending.Store(int64(len(tasks) - 1))
+	for i := len(tasks) - 1; i >= 1; i-- {
+		w.push(&task{fn: tasks[i], blk: blk})
+	}
+	tasks[0](c)
+	w.join(blk)
+}
+
+// Work executes declared cycles at the worker's current tempo
+// frequency in wall-clock time: tempo throttling is real here.
+func (c ctx) Work(cy units.Cycles) {
+	if cy <= 0 {
+		return
+	}
+	c.sleepFor(cy.DurationAt(c.w.freq()).Duration())
+}
+
+// Mem executes frequency-independent time.
+func (c ctx) Mem(d units.Time) { c.sleepFor(d.Duration()) }
+
+// WorkMix splits cycles into tempo-scaled and frequency-independent
+// parts, as in the simulator.
+func (c ctx) WorkMix(cy units.Cycles, memFrac float64) {
+	if memFrac < 0 {
+		memFrac = 0
+	}
+	if memFrac > 1 {
+		memFrac = 1
+	}
+	memCycles := units.Cycles(float64(cy) * memFrac)
+	c.Work(cy - memCycles)
+	c.Mem(memCycles.DurationAt(c.w.e.cfg.Spec.MaxFreq()))
+}
+
+func (c ctx) Worker() int { return c.w.id }
+
+// sleepFor burns the requested wall time: sleep for the bulk, spin the
+// sub-50µs remainder for fidelity.
+func (c ctx) sleepFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	if d > 100*time.Microsecond {
+		time.Sleep(d - 50*time.Microsecond)
+	}
+	for time.Now().Before(end) {
+		runtime.Gosched()
+	}
+}

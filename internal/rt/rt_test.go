@@ -1,0 +1,111 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hermes/internal/cpu"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+func TestEveryTaskRunsOnce(t *testing.T) {
+	const n = 400
+	var counts [n]atomic.Int32
+	r := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 1}, func(c wl.Ctx) {
+		wl.For(c, 0, n, 4, func(c wl.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i].Add(1)
+			}
+			c.Work(units.Cycles(100_000 * (hi - lo)))
+		})
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("element %d ran %d times", i, got)
+		}
+	}
+	if r.Tasks == 0 || r.Span <= 0 || r.EnergyJ <= 0 {
+		t.Fatalf("bad report: %+v", r)
+	}
+}
+
+func TestRealParallelism(t *testing.T) {
+	// With 4 workers and plenty of independent leaves, several workers
+	// must actually execute tasks (worker ids observed > 1).
+	var seen [4]atomic.Int32
+	Run(Config{Spec: cpu.SystemB(), Workers: 4, Seed: 2}, func(c wl.Ctx) {
+		wl.For(c, 0, 64, 1, func(c wl.Ctx, lo, hi int) {
+			seen[c.Worker()].Add(1)
+			c.Work(2_000_000)
+		})
+	})
+	workersUsed := 0
+	for i := range seen {
+		if seen[i].Load() > 0 {
+			workersUsed++
+		}
+	}
+	if workersUsed < 2 {
+		t.Fatalf("only %d workers executed tasks", workersUsed)
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	var leaves atomic.Int32
+	var tree func(d int) wl.Task
+	tree = func(d int) wl.Task {
+		return func(c wl.Ctx) {
+			if d == 0 {
+				leaves.Add(1)
+				c.Work(50_000)
+				return
+			}
+			c.Go(tree(d-1), tree(d-1))
+		}
+	}
+	Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 3}, tree(7))
+	if got := leaves.Load(); got != 128 {
+		t.Fatalf("leaves = %d, want 128", got)
+	}
+}
+
+func TestBaselineVsHermesBothComplete(t *testing.T) {
+	work := func(c wl.Ctx) {
+		wl.For(c, 0, 128, 2, func(c wl.Ctx, lo, hi int) {
+			c.WorkMix(units.Cycles(300_000*(hi-lo)), 0.7)
+		})
+	}
+	b := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: false, Seed: 4}, work)
+	h := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 4}, work)
+	if b.EnergyJ <= 0 || h.EnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if b.Steals == 0 && h.Steals == 0 {
+		t.Log("note: no steals occurred in either run (small workload)")
+	}
+	// No timing assertion: wall-clock on shared CI is not a meter.
+}
+
+func TestSingleWorker(t *testing.T) {
+	ran := 0
+	Run(Config{Spec: cpu.SystemB(), Workers: 1, Hermes: true, Seed: 5}, func(c wl.Ctx) {
+		c.Go(
+			func(wl.Ctx) { ran++ },
+			func(wl.Ctx) { ran++ },
+			func(wl.Ctx) { ran++ },
+		)
+	})
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too many workers")
+		}
+	}()
+	Run(Config{Spec: cpu.SystemB(), Workers: 5}, func(wl.Ctx) {})
+}

@@ -1,0 +1,244 @@
+// Package sim is a deterministic discrete-event engine. Simulated
+// activities (workers, the DAQ sampler) run as coroutine-style
+// processes: ordinary goroutines that the engine resumes one at a
+// time, so execution is single-threaded in effect and fully
+// reproducible — the event order depends only on (virtual time,
+// schedule order).
+//
+// A process parks either until a scheduled virtual time (Sleep /
+// WaitUntil) or indefinitely (ParkUntilWake), and any running process
+// may wake a parked one (Wake), cancelling its pending timer. This
+// early-wake primitive is what lets the scheduler re-rate in-flight
+// task work when a DVFS transition commits mid-task.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"hermes/internal/units"
+)
+
+// Event is a scheduled wake-up for a process. Cancelled events stay in
+// the heap and are skipped lazily.
+type Event struct {
+	t        units.Time
+	seq      uint64
+	p        *Proc
+	canceled bool
+}
+
+// Cancel marks the event so it will not fire. Safe to call on an
+// already-cancelled event.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type procState uint8
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// Proc is a simulated process.
+type Proc struct {
+	eng     *Engine
+	ID      int
+	Name    string
+	wake    chan struct{}
+	pending *Event
+	state   procState
+	fn      func(*Proc)
+}
+
+type ctrl struct {
+	p        *Proc
+	finished bool
+}
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now     units.Time
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	alive   int
+	control chan ctrl
+	current *Proc
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{control: make(chan ctrl)}
+}
+
+// Now returns the current virtual time. Only the running process (or
+// the caller of Run, between runs) may call it.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Go registers a new process whose body starts at the current virtual
+// time, after already-scheduled events at that time. It may be called
+// before Run or from a running process.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, ID: len(e.procs), Name: name, wake: make(chan struct{}), fn: fn}
+	e.procs = append(e.procs, p)
+	e.alive++
+	p.pending = e.schedule(e.now, p)
+	go func() {
+		<-p.wake // first resume
+		p.pending = nil
+		p.state = stateRunning
+		p.fn(p)
+		p.state = stateDone
+		e.control <- ctrl{p: p, finished: true}
+	}()
+	return p
+}
+
+func (e *Engine) schedule(t units.Time, p *Proc) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	ev := &Event{t: t, seq: e.seq, p: p}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Run executes events until every process has finished. It panics on
+// deadlock: no runnable events while processes are still alive.
+func (e *Engine) Run() {
+	for e.alive > 0 {
+		ev := e.next()
+		if ev == nil {
+			panic("sim: deadlock — " + e.describeStall())
+		}
+		if ev.t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.t
+		p := ev.p
+		p.pending = nil
+		p.state = stateRunning
+		e.current = p
+		p.wake <- struct{}{}
+		c := <-e.control
+		e.current = nil
+		if c.finished {
+			e.alive--
+		}
+	}
+}
+
+func (e *Engine) next() *Event {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if !ev.canceled {
+			return ev
+		}
+	}
+	return nil
+}
+
+func (e *Engine) describeStall() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d processes alive at %v with empty event queue:", e.alive, e.now)
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			fmt.Fprintf(&b, " [%d %s state=%d]", p.ID, p.Name, p.state)
+		}
+	}
+	return b.String()
+}
+
+// park hands control back to the engine and blocks until woken.
+func (p *Proc) park() {
+	p.state = stateParked
+	p.eng.control <- ctrl{p: p}
+	<-p.wake
+	p.pending = nil
+	p.state = stateRunning
+}
+
+// WaitUntil parks until virtual time t (or an early Wake). It returns
+// the time at which the process resumed.
+func (p *Proc) WaitUntil(t units.Time) units.Time {
+	p.mustBeCurrent("WaitUntil")
+	if t < p.eng.now {
+		panic("sim: WaitUntil into the past")
+	}
+	p.pending = p.eng.schedule(t, p)
+	p.park()
+	return p.eng.now
+}
+
+// Sleep parks for span d (or until an early Wake) and returns the
+// resume time.
+func (p *Proc) Sleep(d units.Time) units.Time {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	return p.WaitUntil(p.eng.now + d)
+}
+
+// ParkUntilWake parks with no timer; only Wake resumes the process.
+func (p *Proc) ParkUntilWake() units.Time {
+	p.mustBeCurrent("ParkUntilWake")
+	p.pending = nil
+	p.park()
+	return p.eng.now
+}
+
+// Wake makes a parked process runnable at the current virtual time,
+// cancelling any pending timer. The caller must be the currently
+// running process (or the engine owner between runs); a process cannot
+// wake itself. Waking an already-runnable or finished process is a
+// no-op, so completion broadcasts are safe.
+func (p *Proc) Wake() {
+	if p.eng.current == p {
+		panic("sim: process woke itself")
+	}
+	switch p.state {
+	case stateDone:
+		return
+	case stateParked, stateNew:
+		if p.pending != nil {
+			if p.pending.t == p.eng.now {
+				return // already scheduled to run now
+			}
+			p.pending.Cancel()
+		}
+		p.pending = p.eng.schedule(p.eng.now, p)
+	case stateRunning:
+		// Running but not current can only mean it is mid-handshake;
+		// it will park or finish momentarily and has its own event.
+	}
+}
+
+func (p *Proc) mustBeCurrent(op string) {
+	if p.eng.current != nil && p.eng.current != p {
+		panic("sim: " + op + " called by non-current process " + p.Name)
+	}
+}

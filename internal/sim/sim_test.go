@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hermes/internal/units"
+)
+
+func TestSingleProcSleep(t *testing.T) {
+	e := NewEngine()
+	var resumed units.Time
+	e.Go("a", func(p *Proc) {
+		resumed = p.Sleep(5 * units.Microsecond)
+	})
+	e.Run()
+	if resumed != 5*units.Microsecond {
+		t.Fatalf("resumed at %v, want 5µs", resumed)
+	}
+	if e.Now() != 5*units.Microsecond {
+		t.Fatalf("engine now = %v", e.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() string {
+		var log []string
+		e := NewEngine()
+		for i := 0; i < 3; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for k := 0; k < 3; k++ {
+					p.Sleep(units.Time(i+1) * units.Microsecond)
+					log = append(log, fmt.Sprintf("p%d@%v", i, e.Now()))
+				}
+			})
+		}
+		e.Run()
+		return strings.Join(log, " ")
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// Same-time events fire in schedule order: p0's 3µs wake (scheduled
+	// 3rd overall among its own) vs p2's first — verify expected total
+	// ordering by spot-checking the trace begins with p0@1µs.
+	if !strings.HasPrefix(first, "p0@1.000µs") {
+		t.Fatalf("unexpected trace start: %s", first)
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		p.Sleep(time1())
+		order = append(order, "a")
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time1())
+		order = append(order, "b")
+	})
+	e.Run()
+	if strings.Join(order, "") != "ab" {
+		t.Fatalf("same-time order = %v, want a before b", order)
+	}
+}
+
+func time1() units.Time { return 1 * units.Microsecond }
+
+func TestParkAndWake(t *testing.T) {
+	e := NewEngine()
+	var parked *Proc
+	var wokenAt units.Time
+	parked = e.Go("sleeper", func(p *Proc) {
+		wokenAt = p.ParkUntilWake()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(7 * units.Microsecond)
+		parked.Wake()
+	})
+	e.Run()
+	if wokenAt != 7*units.Microsecond {
+		t.Fatalf("woken at %v, want 7µs", wokenAt)
+	}
+}
+
+func TestEarlyWakeCancelsTimer(t *testing.T) {
+	e := NewEngine()
+	var resumed units.Time
+	var wakes int
+	sleeper := e.Go("sleeper", func(p *Proc) {
+		resumed = p.Sleep(100 * units.Microsecond)
+		// Park again; if the stale timer still fired we'd resume at
+		// 100µs instead of the partner's second wake at 20µs.
+		resumed2 := p.ParkUntilWake()
+		if resumed2 != 20*units.Microsecond {
+			t.Errorf("second resume at %v, want 20µs", resumed2)
+		}
+		wakes++
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(10 * units.Microsecond)
+		sleeper.Wake()
+		p.Sleep(10 * units.Microsecond)
+		sleeper.Wake()
+	})
+	e.Run()
+	if resumed != 10*units.Microsecond {
+		t.Fatalf("early wake at %v, want 10µs", resumed)
+	}
+	if wakes != 1 {
+		t.Fatalf("sleeper body incomplete")
+	}
+}
+
+func TestDoubleWakeSameInstant(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	sleeper := e.Go("sleeper", func(p *Proc) {
+		p.ParkUntilWake()
+		count++
+	})
+	e.Go("w1", func(p *Proc) {
+		p.Sleep(time1())
+		sleeper.Wake()
+		sleeper.Wake() // duplicate at the same instant: no-op
+	})
+	e.Run()
+	if count != 1 {
+		t.Fatalf("sleeper ran %d times", count)
+	}
+}
+
+func TestWakeFinishedProcIsNoop(t *testing.T) {
+	e := NewEngine()
+	done := e.Go("short", func(p *Proc) {})
+	e.Go("late", func(p *Proc) {
+		p.Sleep(time1())
+		done.Wake() // must not panic or hang
+	})
+	e.Run()
+}
+
+func TestSpawnFromRunningProc(t *testing.T) {
+	e := NewEngine()
+	var childRan units.Time
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(3 * units.Microsecond)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(2 * units.Microsecond)
+			childRan = e.Now()
+		})
+		p.Sleep(10 * units.Microsecond)
+	})
+	e.Run()
+	if childRan != 5*units.Microsecond {
+		t.Fatalf("child ran at %v, want 5µs", childRan)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		p.ParkUntilWake() // nobody will wake it
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative sleep")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	e.Run()
+}
+
+func TestManyProcsStress(t *testing.T) {
+	e := NewEngine()
+	const n = 100
+	total := 0
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < 50; k++ {
+				p.Sleep(units.Time(1+(i*7+k*13)%23) * units.Microsecond)
+			}
+			total++
+		})
+	}
+	e.Run()
+	if total != n {
+		t.Fatalf("%d procs finished, want %d", total, n)
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	ev := &Event{}
+	ev.Cancel()
+	ev.Cancel() // idempotent
+	if !ev.canceled {
+		t.Fatal("cancel did not mark event")
+	}
+}

@@ -1,0 +1,238 @@
+// Package tempo implements the two HERMES tempo-control mechanisms of
+// Ribic & Liu (ASPLOS 2014), independent of any executor:
+//
+//   - the immediacy list for workpath-sensitive control (Section 3.1):
+//     a doubly-linked list across workers ordered by work-first
+//     immediacy, grown at steal time and relayed when a victim runs
+//     out of work;
+//   - the deque-size thresholds for workload-sensitive control
+//     (Section 3.2), including the online profiler that derives
+//     thresholds from the recent average deque size:
+//     thld_i = (2L/(K+1))·i for i = 1..K.
+//
+// The paper's Figure 5 pseudocode has two known slips that this
+// package resolves (documented in DESIGN.md): list insertion line 23
+// is corrected to the standard doubly-linked insert, and the tier
+// index S spans [0, K] so that K thresholds yield K+1 tempo tiers as
+// the prose example (L=15, K=2 → thresholds {10, 20}, three tiers)
+// requires.
+package tempo
+
+// Node is the intrusive immediacy-list node embedded in each worker.
+// Val points back to the owning worker.
+type Node[T any] struct {
+	next, prev *Node[T]
+	Val        T
+}
+
+// Next returns the node's successor (the less immediate neighbour: its
+// most recent thief), or nil.
+func (n *Node[T]) Next() *Node[T] { return n.next }
+
+// Prev returns the node's predecessor (the more immediate neighbour),
+// or nil.
+func (n *Node[T]) Prev() *Node[T] { return n.prev }
+
+// InList reports whether the node is currently linked to any other
+// node. A single detached node is "not in a relationship".
+func (n *Node[T]) InList() bool { return n.next != nil || n.prev != nil }
+
+// AtHead reports whether the node has no predecessor — it processes
+// the most immediate work and must not be slowed by workload control
+// (the `prev != null` guard in Figure 5's POP and STEAL).
+func (n *Node[T]) AtHead() bool { return n.prev == nil }
+
+// InsertThief links thief immediately after victim, per Algorithm 3.1
+// lines 20–26: if the victim already had a thief, the new thief is
+// more immediate than the previous one (tasks stolen later are more
+// immediate), so it is inserted between them.
+func InsertThief[T any](thief, victim *Node[T]) {
+	if thief == victim {
+		panic("tempo: worker cannot be its own thief")
+	}
+	if thief.InList() {
+		panic("tempo: thief already linked")
+	}
+	if victim.next != nil {
+		thief.next = victim.next
+		victim.next.prev = thief
+	}
+	victim.next = thief
+	thief.prev = victim
+}
+
+// Unlink removes n from the list (Algorithm 3.1 lines 11–14), stitching
+// its neighbours together. Safe on a detached node.
+func (n *Node[T]) Unlink() {
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.next = nil
+	n.prev = nil
+}
+
+// Relay visits every node strictly after n in immediacy order — its
+// thief, the thief's thief, and so on (Algorithm 3.1 lines 6–10) — and
+// applies up. Called when n runs out of work: the immediacy baton
+// passes down the chain.
+func (n *Node[T]) Relay(up func(T)) {
+	for x := n.next; x != nil; x = x.next {
+		up(x.Val)
+	}
+}
+
+// Thresholds is the workload-sensitive tier state of one worker.
+//
+// With K thresholds th[0] < th[1] < … < th[K-1] there are K+1 tiers;
+// tier S means the deque size sits between th[S-1] (inclusive) and
+// th[S] (exclusive). Higher tiers mean more pending work and a faster
+// tempo. Crossings move one tier at a time, which is exact because
+// deque sizes change by one per operation.
+type Thresholds struct {
+	th []float64
+	s  int
+}
+
+// NewThresholds returns tier state with K thresholds derived from the
+// initial average deque size avg, starting at the top tier (HERMES
+// bootstraps every worker at the fastest tempo).
+func NewThresholds(k int, avg float64) *Thresholds {
+	if k < 1 {
+		panic("tempo: need at least one threshold")
+	}
+	t := &Thresholds{th: make([]float64, k)}
+	t.Retune(avg)
+	t.s = k
+	return t
+}
+
+// K returns the number of thresholds.
+func (t *Thresholds) K() int { return len(t.th) }
+
+// Tier returns the current tier S ∈ [0, K].
+func (t *Thresholds) Tier() int { return t.s }
+
+// Values returns a copy of the current threshold values.
+func (t *Thresholds) Values() []float64 {
+	out := make([]float64, len(t.th))
+	copy(out, t.th)
+	return out
+}
+
+// Retune recomputes the thresholds from a freshly profiled average
+// deque size L: thld_i = (2L/(K+1))·i. The current tier is clamped
+// into range (it cannot be, today, but the invariant is kept locally).
+func (t *Thresholds) Retune(avg float64) {
+	if avg < 0 {
+		avg = 0
+	}
+	k := len(t.th)
+	base := 2 * avg / float64(k+1)
+	for i := range t.th {
+		t.th[i] = base * float64(i+1)
+	}
+}
+
+// WouldRaise reports whether a deque that has just grown to size
+// crosses the next threshold up (Figure 5 PUSH). The tier itself moves
+// only via Raise: callers commit the tier move if — and only if — the
+// paired tempo UP actually raised the frequency level, keeping tier
+// and tempo strictly synchronized. Without that pairing, DOWNs clamped
+// at the slowest frequency would bank "free" UPs that cancel
+// workpath-sensitive procrastination (see DESIGN.md).
+func (t *Thresholds) WouldRaise(size int) bool {
+	return t.s < len(t.th) && float64(size) >= t.th[t.s]
+}
+
+// WouldLower reports whether a deque that has just shrunk to size
+// falls below the current tier's lower threshold (Figure 5 POP and
+// STEAL). Callers commit via Lower only when the paired tempo DOWN
+// actually moved, and never for workers at the head of the immediacy
+// list (the `prev != null` guard).
+func (t *Thresholds) WouldLower(size int) bool {
+	return t.s > 0 && float64(size) < t.th[t.s-1]
+}
+
+// Raise commits one tier increment (paired with a real tempo UP).
+func (t *Thresholds) Raise() {
+	if t.s < len(t.th) {
+		t.s++
+	}
+}
+
+// Lower commits one tier decrement (paired with a real tempo DOWN).
+func (t *Thresholds) Lower() {
+	if t.s > 0 {
+		t.s--
+	}
+}
+
+// SetTier forces the tier to v (clamped to [0, K]): used when a
+// workload-only thief re-derives its tier from its own deque at steal
+// time (Figure 4(b)).
+func (t *Thresholds) SetTier(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > len(t.th) {
+		v = len(t.th)
+	}
+	t.s = v
+}
+
+// TierFor returns the tier a deque of the given size belongs in:
+// the number of thresholds at or below size (Figure 4's reading —
+// size ≥ th[K-1] is the top tier, size < th[0] the bottom).
+func (t *Thresholds) TierFor(size int) int {
+	s := 0
+	for s < len(t.th) && float64(size) >= t.th[s] {
+		s++
+	}
+	return s
+}
+
+// Profiler computes the rolling average deque size used to retune
+// thresholds. Every profiling period the runtime feeds it one sample
+// per worker; it averages the last Window periods.
+type Profiler struct {
+	window  int
+	periods [][]int
+}
+
+// NewProfiler returns a profiler averaging over the last window
+// periods. window < 1 is treated as 1.
+func NewProfiler(window int) *Profiler {
+	if window < 1 {
+		window = 1
+	}
+	return &Profiler{window: window}
+}
+
+// Observe records one period's deque sizes (one entry per worker).
+func (p *Profiler) Observe(sizes []int) {
+	s := make([]int, len(sizes))
+	copy(s, sizes)
+	p.periods = append(p.periods, s)
+	if len(p.periods) > p.window {
+		p.periods = p.periods[len(p.periods)-p.window:]
+	}
+}
+
+// Average returns the mean deque size across all samples in the
+// window, or 0 if nothing has been observed.
+func (p *Profiler) Average() float64 {
+	sum, n := 0, 0
+	for _, period := range p.periods {
+		for _, v := range period {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
