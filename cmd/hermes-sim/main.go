@@ -73,6 +73,10 @@ func main() {
 		}
 	}
 
+	if _, err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
 	b, err := bench.ByName(*benchN)
 	if err != nil {
 		fatalf("%v", err)

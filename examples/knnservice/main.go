@@ -1,41 +1,82 @@
-// KNN service: the paper's "KNN" workload as an application — answer
-// k-nearest-neighbour queries over a clustered point set, sweeping the
-// worker count to show how HERMES's savings behave with parallelism
-// (the paper's Figure 6 x-axis).
+// KNN service: the paper's "KNN" workload as a multi-job service —
+// one persistent Runtime answers a stream of k-nearest-neighbour
+// query batches submitted as concurrent jobs over the shared
+// work-stealing pool. On the simulator backend the jobs serialize
+// deterministically, so per-job reports are reproducible and the
+// HERMES savings can be read off the aggregate stream.
 //
 //	go run ./examples/knnservice
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"sync"
 
 	"hermes"
 	"hermes/internal/bench/knn"
 )
 
+const (
+	points  = 50_000
+	queries = 4 // concurrent query-batch jobs per mode
+)
+
 func main() {
-	fmt.Println("k-nearest neighbours (k=8) over 100k clustered points, SystemA")
-	fmt.Printf("%-8s  %-12s  %-10s  %-10s  %-8s\n", "workers", "span", "energy", "saving", "loss")
-	for _, w := range []int{2, 4, 8, 16} {
-		base := run(w, hermes.Baseline)
-		herm := run(w, hermes.Unified)
-		fmt.Printf("%-8d  %-12v  %-10.2f  %+-10.1f  %+-8.1f\n",
-			w, herm.Span, herm.EnergyJ,
-			100*(1-herm.EnergyJ/base.EnergyJ),
-			100*(herm.Span.Seconds()/base.Span.Seconds()-1))
+	fmt.Printf("KNN service: %d-point index, %d concurrent query jobs per mode, SystemA\n\n", points, queries)
+	fmt.Printf("%-10s  %-6s  %-12s  %-10s  %-8s\n", "mode", "job", "span", "energy", "steals")
+
+	for _, mode := range []hermes.Mode{hermes.Baseline, hermes.Unified} {
+		reports := serve(mode)
+		var energy, span float64
+		for i, r := range reports {
+			fmt.Printf("%-10s  %-6d  %-12v  %-10.2f  %-8d\n", mode, i, r.Span, r.EnergyJ, r.Steals)
+			energy += r.EnergyJ
+			span += r.Span.Seconds()
+		}
+		fmt.Printf("%-10s  total   %-12s  %-10.2f\n\n", mode, fmt.Sprintf("%.3fs", span), energy)
 	}
 }
 
-func run(workers int, mode hermes.Mode) hermes.Report {
-	job := knn.New(100_000, 8, 11)
-	r := hermes.Run(hermes.Config{
-		Spec:    hermes.SystemA(),
-		Workers: workers,
-		Mode:    mode,
-		Seed:    11,
-	}, job.Root)
-	if err := job.Check(); err != nil {
-		panic(err)
+// serve stands up one persistent Runtime and fires all query jobs at
+// it from separate goroutines, as a service frontend would. Each job
+// builds and answers one batch of KNN queries; each gets its own
+// report.
+func serve(mode hermes.Mode) []hermes.Report {
+	rt, err := hermes.New(
+		hermes.WithSpec(hermes.SystemA()),
+		hermes.WithWorkers(16),
+		hermes.WithMode(mode),
+		hermes.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return r
+	defer rt.Close()
+
+	reports := make([]hermes.Report, queries)
+	var wg sync.WaitGroup
+	for q := 0; q < queries; q++ {
+		q := q
+		batch := knn.New(points, 8, 11+int64(q))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job, err := rt.Submit(context.Background(), batch.Root)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := job.Wait()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := batch.Check(); err != nil {
+				log.Fatal(err)
+			}
+			reports[q] = r
+		}()
+	}
+	wg.Wait()
+	return reports
 }

@@ -1,12 +1,14 @@
-// Quickstart: run a parallel computation on the HERMES runtime and
-// compare the energy bill of the tempo-controlled scheduler against
-// the classic baseline.
+// Quickstart: build a persistent Runtime, submit a parallel
+// computation as a job, and compare the energy bill of the
+// tempo-controlled scheduler against the classic baseline.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"hermes"
 )
@@ -32,22 +34,38 @@ func workload(depth int, cycles hermes.Cycles) hermes.Task {
 	return node(depth, cycles)
 }
 
+// measure runs root once on a fresh simulator Runtime in the given
+// mode. hermes.New validates the configuration and returns errors
+// instead of panicking; Submit hands back a Job whose Wait delivers
+// the per-job report.
+func measure(mode hermes.Mode, root hermes.Task) hermes.Report {
+	rt, err := hermes.New(
+		hermes.WithSpec(hermes.SystemA()),
+		hermes.WithWorkers(8),
+		hermes.WithMode(mode),
+		hermes.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	job, err := rt.Submit(context.Background(), root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := job.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report
+}
+
 func main() {
 	root := workload(10, 3_000_000_000) // ~3G cycles across 1024 leaves
 
-	base := hermes.Run(hermes.Config{
-		Spec:    hermes.SystemA(),
-		Workers: 8,
-		Mode:    hermes.Baseline,
-		Seed:    1,
-	}, root)
-
-	herm := hermes.Run(hermes.Config{
-		Spec:    hermes.SystemA(),
-		Workers: 8,
-		Mode:    hermes.Unified,
-		Seed:    1,
-	}, root)
+	base := measure(hermes.Baseline, root)
+	herm := measure(hermes.Unified, root)
 
 	fmt.Println("baseline:", base.String())
 	fmt.Println()

@@ -1,35 +1,77 @@
-// Realtime: run the HERMES algorithms on real goroutine workers
-// (internal/rt) instead of the simulator — true parallelism on the
-// host, with tempo throttling applied in wall-clock time and energy
-// accounted by the same calibrated power model.
+// Realtime: run the HERMES algorithms on real goroutine workers (the
+// Native backend) as a persistent multi-job service — true
+// parallelism on the host, several jobs multiplexed over one shared
+// work-stealing pool, tempo throttling applied in wall-clock time,
+// energy accounted by the same calibrated power model, and an
+// Observer streaming scheduler events.
 //
 //	go run ./examples/realtime
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
 
-	"hermes/internal/rt"
-	"hermes/internal/units"
-	"hermes/internal/wl"
+	"hermes"
 )
 
 func main() {
-	// A mixed CPU/memory workload: 256 chunks of declared work.
-	work := func(c wl.Ctx) {
-		wl.For(c, 0, 256, 2, func(c wl.Ctx, lo, hi int) {
-			c.WorkMix(units.Cycles(2_000_000*(hi-lo)), 0.7)
+	var steals, tempoSwitches atomic.Int64
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(4),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithSeed(1),
+		hermes.WithObserver(hermes.ObserverFunc(func(e hermes.Event) {
+			switch e.Kind {
+			case hermes.EventSteal:
+				steals.Add(1)
+			case hermes.EventTempoSwitch:
+				tempoSwitches.Add(1)
+			}
+		})),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	// A burst of mixed CPU/memory jobs, submitted concurrently: the
+	// pool serves them all at once, so the deque-size thresholds react
+	// to the aggregate traffic rather than one fork-join tree.
+	const jobs = 3
+	work := func(c hermes.Ctx) {
+		hermes.For(c, 0, 256, 2, func(c hermes.Ctx, lo, hi int) {
+			c.WorkMix(hermes.Cycles(2_000_000*(hi-lo)), 0.7)
 		})
 	}
 
-	base := rt.Run(rt.Config{Workers: 4, Hermes: false, Seed: 1}, work)
-	herm := rt.Run(rt.Config{Workers: 4, Hermes: true, Seed: 1}, work)
+	var wg sync.WaitGroup
+	reports := make([]hermes.Report, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := rt.Run(context.Background(), work)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports[i] = r
+		}()
+	}
+	wg.Wait()
 
-	fmt.Println("baseline:", base)
-	fmt.Println("hermes:  ", herm)
-	fmt.Printf("modeled energy delta: %+.1f%%  wall-clock delta: %+.1f%%\n",
-		100*(herm.EnergyJ/base.EnergyJ-1),
-		100*(float64(herm.Span)/float64(base.Span)-1))
+	for i, r := range reports {
+		fmt.Printf("job %d: span=%v energy=%.2fJ tasks=%d steals=%d\n",
+			i, r.Span, r.EnergyJ, r.Tasks, r.Steals)
+	}
+	fmt.Printf("\npool events observed: %d steals, %d tempo switches\n",
+		steals.Load(), tempoSwitches.Load())
 	fmt.Println("(wall-clock numbers vary run to run — the OS schedules for real here;")
-	fmt.Println(" use the simulator via cmd/hermes-bench for reproducible measurements)")
+	fmt.Println(" use the Sim backend via cmd/hermes-bench for reproducible measurements)")
 }

@@ -1,27 +1,50 @@
 // Package hermes is an energy-efficient work-stealing runtime — a Go
 // reproduction of "Energy-Efficient Work-Stealing Language Runtimes"
-// (Ribic & Liu, ASPLOS 2014).
+// (Ribic & Liu, ASPLOS 2014) grown into a service-style scheduler.
 //
 // Programs express fork-join parallelism through the Ctx API and run
 // on a Cilk-style work-stealing scheduler whose workers execute at
 // different tempos: CPU frequencies chosen by the paper's
 // workpath-sensitive algorithm (thieves run slower than their victims;
 // immediacy is relayed when a victim drains) and workload-sensitive
-// algorithm (deque size against online-profiled thresholds). The
-// scheduler runs over a deterministic simulated machine — clock
-// domains, DVFS latency, a calibrated power model and a 100 Hz energy
-// meter modeled on the paper's measurement rig — so every run yields
-// an energy/time report.
+// algorithm (deque size against online-profiled thresholds).
 //
-// Quick start:
+// The primary entry point is the persistent Runtime, constructed with
+// functional options and serving a stream of jobs over one
+// work-stealing pool:
 //
-//	report := hermes.Run(hermes.Config{Workers: 8}, func(c hermes.Ctx) {
+//	rt, err := hermes.New(
+//		hermes.WithWorkers(8),
+//		hermes.WithMode(hermes.Unified),
+//		hermes.WithBackend(hermes.Native),
+//	)
+//	if err != nil { ... }
+//	defer rt.Close()
+//
+//	job, err := rt.Submit(ctx, func(c hermes.Ctx) {
 //		hermes.For(c, 0, 1000, 10, func(c hermes.Ctx, lo, hi int) {
 //			// real work for elements [lo, hi), plus its cost model
 //			c.WorkMix(50_000*hermes.Cycles(hi-lo), 0.5)
 //		})
 //	})
-//	fmt.Println(report)
+//	if err != nil { ... }
+//	report, err := job.Wait()
+//
+// Two backends serve the same API. Sim (the default) is the
+// deterministic discrete-event simulator — clock domains, DVFS
+// latency, a calibrated power model and a 100 Hz energy meter modeled
+// on the paper's measurement rig — where jobs run one at a time in
+// submission order so every Report is bit-reproducible for a fixed
+// config and seed: the measurement instrument. Native executes on
+// real goroutine workers, multiplexing all submitted jobs over one
+// shared pool with tempo throttling applied in wall-clock time: the
+// service engine. Jobs are cancelled cooperatively through their
+// submission context, and WithObserver streams scheduler events
+// (steals, tempo switches, energy samples) for telemetry.
+//
+// The original one-shot entry point remains for simulator runs:
+//
+//	report := hermes.Run(hermes.Config{Workers: 8}, root)
 package hermes
 
 import (
@@ -101,8 +124,11 @@ func SystemB() *cpu.Spec { return cpu.SystemB() }
 // for a system.
 func DefaultFreqs(spec *cpu.Spec) []Freq { return core.DefaultFreqs(spec) }
 
-// Run executes root to completion under cfg and returns the measured
-// report. Runs are deterministic for a fixed config and seed.
+// Run executes root to completion on the simulator under cfg and
+// returns the measured report — the original one-shot API, kept as a
+// thin wrapper over the Sim backend. Runs are deterministic for a
+// fixed config and seed. Invalid configs panic; use New for the
+// error-returning persistent API.
 func Run(cfg Config, root Task) Report { return core.Run(cfg, root) }
 
 // For runs body over [lo, hi) in parallel chunks of at most grain

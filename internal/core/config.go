@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hermes/internal/cpu"
+	"hermes/internal/obs"
 	"hermes/internal/units"
 )
 
@@ -44,11 +45,11 @@ func (m Mode) String() string {
 	return "invalid"
 }
 
-// workpath reports whether the immediacy-list strategy is active.
-func (m Mode) workpath() bool { return m == WorkpathOnly || m == Unified }
+// Workpath reports whether the immediacy-list strategy is active.
+func (m Mode) Workpath() bool { return m == WorkpathOnly || m == Unified }
 
-// workload reports whether the deque-size strategy is active.
-func (m Mode) workload() bool { return m == WorkloadOnly || m == Unified }
+// Workload reports whether the deque-size strategy is active.
+func (m Mode) Workload() bool { return m == WorkloadOnly || m == Unified }
 
 // Scheduling selects the worker-core mapping policy of Section 3.4.
 type Scheduling uint8
@@ -113,10 +114,37 @@ type Config struct {
 	// saturation: level i runs at Freqs[min(i, N-1)], per the paper's
 	// N-frequency tempo control. Default N+2.
 	MaxTempoLevels int
+
+	// Observer, if non-nil, receives scheduler events (steals, tempo
+	// switches, DVFS commits, energy samples). Purely observational:
+	// it cannot influence scheduling, so a fixed config and seed stay
+	// deterministic with or without it.
+	Observer obs.Observer
+	// Cancelled, if non-nil, is polled at spawn and task-execution
+	// boundaries by the simulator. Once it reports true the scheduler
+	// stops executing task bodies and drains the remaining fork-join
+	// structure, so a run under a cancelled context completes quickly.
+	// Runs that are never cancelled are unaffected. Simulator-only:
+	// the real-concurrency executor (internal/rt) cancels per job
+	// through the Submit context instead and ignores this hook.
+	Cancelled func() bool
 }
 
-// withDefaults fills in zero fields and validates the configuration.
+// withDefaults fills in zero fields and validates the configuration,
+// panicking on invalid configs. It backs the package-level Run entry
+// point; error-returning callers use Validate.
 func (c Config) withDefaults() Config {
+	v, err := c.Validate()
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// Validate fills in zero fields and checks the configuration,
+// returning the completed config or an error describing the first
+// problem found.
+func (c Config) Validate() (Config, error) {
 	if c.Spec == nil {
 		c.Spec = cpu.SystemA()
 	}
@@ -124,25 +152,67 @@ func (c Config) withDefaults() Config {
 		c.Workers = c.Spec.Domains()
 	}
 	if c.Workers < 1 || c.Workers > c.Spec.Domains() {
-		panic(fmt.Sprintf("core: %d workers not supported on %s (%d clock domains)",
-			c.Workers, c.Spec.Name, c.Spec.Domains()))
+		return c, fmt.Errorf("core: %d workers not supported on %s (%d clock domains)",
+			c.Workers, c.Spec.Name, c.Spec.Domains())
+	}
+	if c.Mode > Unified {
+		return c, fmt.Errorf("core: invalid mode %d", c.Mode)
+	}
+	if c.Scheduling > Dynamic {
+		return c, fmt.Errorf("core: invalid scheduling policy %d", c.Scheduling)
 	}
 	if len(c.Freqs) == 0 {
 		c.Freqs = DefaultFreqs(c.Spec)
 	}
 	for i, f := range c.Freqs {
 		if !c.Spec.Supports(f) {
-			panic(fmt.Sprintf("core: %s does not support tempo frequency %v", c.Spec.Name, f))
+			return c, fmt.Errorf("core: %s does not support tempo frequency %v", c.Spec.Name, f)
 		}
 		if i > 0 && f >= c.Freqs[i-1] {
-			panic("core: tempo frequencies must be strictly descending")
+			return c, fmt.Errorf("core: tempo frequencies must be strictly descending (got %v after %v)",
+				f, c.Freqs[i-1])
 		}
 	}
 	if c.Freqs[0] != c.Spec.MaxFreq() {
-		panic("core: the fastest tempo must map to the maximum frequency")
+		return c, fmt.Errorf("core: the fastest tempo must map to the maximum frequency %v, got %v",
+			c.Spec.MaxFreq(), c.Freqs[0])
 	}
 	if c.Mode != Baseline && len(c.Freqs) < 2 {
-		panic("core: tempo control needs at least two frequencies")
+		return c, fmt.Errorf("core: tempo control needs at least two frequencies, got %d", len(c.Freqs))
+	}
+	if c.K < 0 {
+		return c, fmt.Errorf("core: K must not be negative, got %d (zero selects the default)", c.K)
+	}
+	// Negative values are never meaningful for these knobs (zero means
+	// "use the default"); reject them here so backends can trust the
+	// validated config — a negative ProfilePeriod, for example, would
+	// otherwise panic the native profiler's ticker.
+	for _, f := range []struct {
+		name string
+		v    units.Time
+	}{
+		{"ProfilePeriod", c.ProfilePeriod},
+		{"StealCost", c.StealCost},
+		{"PushPopCost", c.PushPopCost},
+		{"YieldSpin", c.YieldSpin},
+		{"YieldSpinMax", c.YieldSpinMax},
+		{"AffinityCost", c.AffinityCost},
+	} {
+		if f.v < 0 {
+			return c, fmt.Errorf("core: %s must not be negative, got %v", f.name, f.v)
+		}
+	}
+	if c.ProfileWindow < 0 {
+		return c, fmt.Errorf("core: ProfileWindow must not be negative, got %d", c.ProfileWindow)
+	}
+	if c.InitialAvgDeque < 0 {
+		return c, fmt.Errorf("core: InitialAvgDeque must not be negative, got %v", c.InitialAvgDeque)
+	}
+	if c.MaxHelpDepth < 0 {
+		return c, fmt.Errorf("core: MaxHelpDepth must not be negative, got %d", c.MaxHelpDepth)
+	}
+	if c.MaxTempoLevels < 0 {
+		return c, fmt.Errorf("core: MaxTempoLevels must not be negative, got %d", c.MaxTempoLevels)
 	}
 	if c.K == 0 {
 		c.K = 2
@@ -178,9 +248,10 @@ func (c Config) withDefaults() Config {
 		c.MaxTempoLevels = len(c.Freqs) + 2
 	}
 	if c.MaxTempoLevels < len(c.Freqs) {
-		panic("core: MaxTempoLevels must cover the tempo frequency set")
+		return c, fmt.Errorf("core: MaxTempoLevels (%d) must cover the tempo frequency set (%d)",
+			c.MaxTempoLevels, len(c.Freqs))
 	}
-	return c
+	return c, nil
 }
 
 // DefaultFreqs returns the paper's default 2-frequency tempo mapping

@@ -3,6 +3,7 @@ package core
 import (
 	"hermes/internal/cpu"
 	"hermes/internal/meter"
+	"hermes/internal/obs"
 	"hermes/internal/power"
 	"hermes/internal/sim"
 	"hermes/internal/tempo"
@@ -36,6 +37,7 @@ type sched struct {
 	tasks, spawns, steals, failedSteals int64
 	tempoSwitches, parks                int64
 	dvfsCommitCount                     int64
+	emittedSamples                      int
 	lastTouch                           units.Time
 	busy, spin, idle, slowBusy          units.Time
 	freqBusy                            map[units.Freq]units.Time
@@ -119,6 +121,29 @@ func (s *sched) touch() {
 		s.lastTouch = now
 	}
 	s.met.Advance(now)
+	if s.cfg.Observer != nil {
+		samples := s.met.Samples()
+		for _, smp := range samples[s.emittedSamples:] {
+			s.emit(obs.Event{Kind: obs.EnergySample, Time: smp.T, Worker: -1, Victim: -1,
+				Power: smp.Watts, Energy: smp.Joules})
+		}
+		s.emittedSamples = len(samples)
+	}
+}
+
+// cancelled reports whether the run's cancellation hook has fired.
+func (s *sched) cancelled() bool {
+	return s.cfg.Cancelled != nil && s.cfg.Cancelled()
+}
+
+// emit streams one event to the configured observer. Callers stamp
+// Time themselves: virtual time 0 is a legitimate timestamp (the
+// first 100 Hz sample), so no default is inferred here.
+func (s *sched) emit(ev obs.Event) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	s.cfg.Observer.Observe(ev)
 }
 
 // finish snapshots the report at root completion and releases every
@@ -173,7 +198,7 @@ func (s *sched) finish() {
 // workload tier deficit (K - S). Level 0 is the fastest tempo.
 func (s *sched) level(w *worker) int {
 	l := w.wpLevel
-	if s.cfg.Mode.workload() {
+	if s.cfg.Mode.Workload() {
 		l += w.th.K() - w.th.Tier()
 	}
 	return l
@@ -195,6 +220,7 @@ func (s *sched) retune(w *worker) {
 		return
 	}
 	s.tempoSwitches++
+	s.emit(obs.Event{Kind: obs.TempoSwitch, Time: s.eng.Now(), Worker: w.id, Victim: -1, Freq: f})
 	changed, at := s.mach.Request(w.core, f, s.eng.Now())
 	dom := w.core.Dom
 	if changed {
@@ -260,6 +286,7 @@ func (s *sched) dvfsLoop(p *sim.Proc) {
 			s.touch()
 			if d.Commit(now) {
 				s.dvfsCommitCount++
+				s.emit(obs.Event{Kind: obs.DVFSCommit, Time: s.eng.Now(), Worker: -1, Victim: -1, Freq: d.Freq()})
 				s.onFreqChange(d)
 			}
 			if _, cAt, pending := d.Pending(); pending {
@@ -295,7 +322,7 @@ func (s *sched) onFreqChange(d *cpu.Domain) {
 // it samples all deque sizes and retunes every worker's thresholds
 // from the rolling average.
 func (s *sched) profLoop(p *sim.Proc) {
-	if !s.cfg.Mode.workload() {
+	if !s.cfg.Mode.Workload() {
 		return
 	}
 	for {

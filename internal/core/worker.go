@@ -6,6 +6,7 @@ import (
 
 	"hermes/internal/cpu"
 	"hermes/internal/deque"
+	"hermes/internal/obs"
 	"hermes/internal/sim"
 	"hermes/internal/tempo"
 	"hermes/internal/units"
@@ -134,7 +135,7 @@ func (w *worker) push(t *task) {
 	w.s.spawns++
 	w.dq.Push(t)
 	w.proc.Sleep(w.s.cfg.PushPopCost)
-	if w.s.cfg.Mode.workload() {
+	if w.s.cfg.Mode.Workload() {
 		if w.th.WouldRaise(w.dq.Size()) {
 			w.th.Raise()
 			// A deque that climbs past the top threshold marks a
@@ -155,10 +156,10 @@ func (w *worker) push(t *task) {
 // below the current tier's threshold lowers the tempo — unless the
 // worker holds the most immediate work (head of the immediacy list).
 func (w *worker) afterShrink() {
-	if !w.s.cfg.Mode.workload() {
+	if !w.s.cfg.Mode.Workload() {
 		return
 	}
-	atHead := w.s.cfg.Mode.workpath() && w.node.AtHead()
+	atHead := w.s.cfg.Mode.Workpath() && w.node.AtHead()
 	if !atHead && w.th.WouldLower(w.dq.Size()) {
 		w.th.Lower()
 		w.s.retune(w)
@@ -176,7 +177,7 @@ func (w *worker) afterStolenFrom() {
 // up one level) and the worker leaves the list. Idempotent while the
 // worker stays out of the list.
 func (w *worker) outOfWork() {
-	if !w.s.cfg.Mode.workpath() || !w.node.InList() {
+	if !w.s.cfg.Mode.Workpath() || !w.node.InList() {
 		return
 	}
 	w.node.Relay(func(x *worker) { w.s.up(x) })
@@ -242,12 +243,13 @@ func (w *worker) stealFrom(v *worker) (*task, bool) {
 	}
 	w.s.steals++
 	w.s.perWorker[w.id].Steals++
-	if w.s.cfg.Mode.workpath() {
+	w.s.emit(obs.Event{Kind: obs.Steal, Time: w.s.eng.Now(), Worker: w.id, Victim: v.id})
+	if w.s.cfg.Mode.Workpath() {
 		// Thief procrastination: one workpath level below the victim,
 		// inserted after it on the immediacy list.
 		w.s.downFrom(w, v)
 		tempo.InsertThief(&w.node, &v.node)
-	} else if w.s.cfg.Mode.workload() {
+	} else if w.s.cfg.Mode.Workload() {
 		// Figure 4(b): the fresh thief's tempo comes from its own
 		// deque size — empty deque, lowest tier.
 		w.th.SetTier(w.th.TierFor(w.dq.Size()))
@@ -282,8 +284,10 @@ func (w *worker) runTask(t *task) {
 	if w.s.cfg.Scheduling == Dynamic {
 		w.proc.Sleep(2 * w.s.cfg.AffinityCost)
 	}
-	w.s.tasks++
-	t.fn(ctx{w})
+	if !w.s.cancelled() {
+		w.s.tasks++
+		t.fn(ctx{w})
+	}
 	if blk := t.blk; blk != nil {
 		blk.pending--
 		if blk.pending == 0 && blk.waiter != nil {
@@ -414,6 +418,9 @@ var _ wl.Ctx = ctx{}
 // inline, then join.
 func (c ctx) Go(tasks ...wl.Task) {
 	w := c.w
+	if w.s.cancelled() {
+		return // spawn boundary: a cancelled run forks no new work
+	}
 	switch len(tasks) {
 	case 0:
 		return

@@ -1,0 +1,68 @@
+// Package job defines the handle returned by runtime job submission:
+// a one-shot future carrying the per-job Report. Both executors (the
+// discrete-event simulator and the real-concurrency pool) complete
+// jobs through the same type, so callers wait on and read results the
+// same way regardless of backend.
+package job
+
+import (
+	"sync"
+
+	"hermes/internal/core"
+)
+
+// Job is the handle for one submitted root task. It is completed
+// exactly once by the executing backend; all methods are safe for
+// concurrent use.
+type Job struct {
+	id   int64
+	done chan struct{}
+
+	once   sync.Once
+	report core.Report
+	err    error
+}
+
+// New returns an open job with the given id.
+func New(id int64) *Job {
+	return &Job{id: id, done: make(chan struct{})}
+}
+
+// ID returns the runtime-assigned job id (unique per executor,
+// starting at 1).
+func (j *Job) ID() int64 { return j.id }
+
+// Done returns a channel closed when the job has completed, for use
+// in select statements.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns its report. A
+// cancelled job still returns the (partial) report alongside the
+// context's error; a job whose work completed before cancellation
+// took effect reports success.
+func (j *Job) Wait() (core.Report, error) {
+	<-j.done
+	return j.report, j.err
+}
+
+// Report returns the job's result without blocking; ok is false while
+// the job is still running.
+func (j *Job) Report() (r core.Report, err error, ok bool) {
+	select {
+	case <-j.done:
+		return j.report, j.err, true
+	default:
+		return core.Report{}, nil, false
+	}
+}
+
+// Finish completes the job with a report and error. It is called by
+// the executing backend exactly once; later calls are no-ops so
+// backend shutdown paths can complete defensively.
+func (j *Job) Finish(r core.Report, err error) {
+	j.once.Do(func() {
+		j.report = r
+		j.err = err
+		close(j.done)
+	})
+}

@@ -1,0 +1,47 @@
+package job
+
+import (
+	"errors"
+	"testing"
+
+	"hermes/internal/core"
+)
+
+func TestFinishOnce(t *testing.T) {
+	j := New(7)
+	if j.ID() != 7 {
+		t.Fatalf("ID = %d", j.ID())
+	}
+	if _, _, ok := j.Report(); ok {
+		t.Fatal("Report ok before Finish")
+	}
+	first := errors.New("first")
+	j.Finish(core.Report{Tasks: 3}, first)
+	j.Finish(core.Report{Tasks: 99}, nil) // must be a no-op
+	r, err := j.Wait()
+	if r.Tasks != 3 || err != first {
+		t.Fatalf("Wait = %+v, %v; want first Finish to win", r, err)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done channel not closed")
+	}
+}
+
+func TestConcurrentWaiters(t *testing.T) {
+	j := New(1)
+	results := make(chan int64, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			r, _ := j.Wait()
+			results <- r.Tasks
+		}()
+	}
+	j.Finish(core.Report{Tasks: 42}, nil)
+	for i := 0; i < 8; i++ {
+		if got := <-results; got != 42 {
+			t.Fatalf("waiter saw Tasks=%d", got)
+		}
+	}
+}

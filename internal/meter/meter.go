@@ -27,6 +27,8 @@ type Sample struct {
 	// Amps is the current the paper's meter would report on the 12 V
 	// rail for this power draw.
 	Amps float64
+	// Joules is the exact cumulative integrated energy at T.
+	Joules float64
 }
 
 // Meter integrates machine power over virtual time. The owner must
@@ -61,10 +63,12 @@ func (m *Meter) Advance(now units.Time) {
 	}
 	w := m.model.MachineWatts(m.mach)
 	// 100 Hz samples inside (last, now]. The sample records the power
-	// that was flowing when the DAQ tick fired.
+	// that was flowing when the DAQ tick fired and the cumulative
+	// energy integrated up to that tick.
 	for m.nextSample <= now {
 		if m.nextSample > m.last || (m.nextSample == 0 && m.last == 0) {
-			m.samples = append(m.samples, Sample{T: m.nextSample, Watts: w, Amps: w / SupplyVolts})
+			j := m.joules + w*(m.nextSample-m.last).Seconds()
+			m.samples = append(m.samples, Sample{T: m.nextSample, Watts: w, Amps: w / SupplyVolts, Joules: j})
 		}
 		m.nextSample += SamplePeriod
 	}

@@ -1,0 +1,94 @@
+// Package obs defines the observer hook through which the runtime
+// streams scheduler events — steals, tempo switches, DVFS commits,
+// energy samples, job lifecycle — to external telemetry without the
+// observer being able to perturb scheduling decisions.
+//
+// Both executors emit through the same Event type. Under the
+// discrete-event simulator events arrive on the single engine
+// goroutine in deterministic order; under the real-concurrency
+// executor they arrive from many worker goroutines at once, so
+// Observer implementations must be safe for concurrent use.
+package obs
+
+import "hermes/internal/units"
+
+// Kind discriminates scheduler events.
+type Kind uint8
+
+const (
+	// Steal is a successful steal: Worker took a task from Victim.
+	Steal Kind = iota
+	// TempoSwitch is a worker filing a tempo change: Worker requested
+	// its core run at Freq.
+	TempoSwitch
+	// DVFSCommit is a clock-domain transition landing at Freq.
+	DVFSCommit
+	// EnergySample is one 100 Hz meter reading: Power is the
+	// instantaneous draw, Energy the cumulative joules so far.
+	EnergySample
+	// JobStart marks a submitted job beginning execution.
+	JobStart
+	// JobDone marks a job completing; Energy carries the job's
+	// integrated joules.
+	JobDone
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Steal:
+		return "steal"
+	case TempoSwitch:
+		return "tempo-switch"
+	case DVFSCommit:
+		return "dvfs-commit"
+	case EnergySample:
+		return "energy-sample"
+	case JobStart:
+		return "job-start"
+	case JobDone:
+		return "job-done"
+	}
+	return "invalid"
+}
+
+// Event is one scheduler occurrence. Fields not meaningful for a kind
+// are zero (Worker and Victim use -1 for "no worker").
+type Event struct {
+	Kind Kind
+	// Time is the event's timestamp. On the native backend it is
+	// wall-clock time since executor start — one monotonic clock
+	// across all jobs. On the simulator backend it is virtual time
+	// within the current job's run: each job gets a fresh engine, so
+	// Time restarts at 0 per job and is not globally ordered across a
+	// multi-job stream (use the JobStart/JobDone framing to segment
+	// it; those framing events themselves carry Time 0 and the job's
+	// final span respectively).
+	Time units.Time
+	// Worker is the acting worker id, -1 if not worker-scoped.
+	Worker int
+	// Victim is the steal victim's worker id (Steal only), else -1.
+	Victim int
+	// Freq is the target frequency (TempoSwitch, DVFSCommit).
+	Freq units.Freq
+	// Power is instantaneous watts (EnergySample).
+	Power float64
+	// Energy is cumulative joules (EnergySample) or the job's total
+	// (JobDone).
+	Energy float64
+	// Job is the owning job id (JobStart, JobDone), 0 otherwise.
+	Job int64
+}
+
+// Observer receives scheduler events. Observe must not block for long
+// — on the simulator it runs inline with the engine; on the native
+// executor it runs inline with workers — and must be concurrency-safe
+// for the native backend.
+type Observer interface {
+	Observe(Event)
+}
+
+// Func adapts a plain function to the Observer interface.
+type Func func(Event)
+
+// Observe calls f.
+func (f Func) Observe(e Event) { f(e) }

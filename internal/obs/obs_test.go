@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Steal:        "steal",
+		TempoSwitch:  "tempo-switch",
+		DVFSCommit:   "dvfs-commit",
+		EnergySample: "energy-sample",
+		JobStart:     "job-start",
+		JobDone:      "job-done",
+		Kind(250):    "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var got []Event
+	var o Observer = Func(func(e Event) { got = append(got, e) })
+	o.Observe(Event{Kind: Steal, Worker: 2, Victim: 0})
+	o.Observe(Event{Kind: JobDone, Job: 5})
+	if len(got) != 2 || got[0].Kind != Steal || got[1].Job != 5 {
+		t.Fatalf("events = %+v", got)
+	}
+}

@@ -3,6 +3,17 @@
 // procrastination, immediacy relays, workload thresholds — run by
 // actual goroutine workers in parallel on the host.
 //
+// Unlike the one-shot simulator, rt is a persistent service: NewExec
+// starts a worker pool that outlives any single computation, Submit
+// enqueues concurrent root jobs multiplexed over the shared pool, and
+// Close drains it. Every job gets its own report; tempo state (the
+// immediacy list, workload tiers, profiled thresholds) persists across
+// jobs, so the deque-size thresholds react to aggregate traffic rather
+// than a single fork-join tree. The executor shares internal/core's
+// Config and Report types: all four tempo modes run here, and reports
+// carry the same residency and scheduler statistics, measured over
+// wall-clock time.
+//
 // Since the host exposes neither per-domain DVFS nor an energy meter,
 // tempo control here is emulated and accounted rather than physically
 // applied: a worker at tempo frequency f executes declared Work cycles
@@ -15,245 +26,662 @@
 // remains the measurement instrument.
 //
 // Unlike the simulator, runs are not deterministic: the OS scheduler
-// decides races, exactly as on the paper's machines.
+// decides races, exactly as on the paper's machines. The sim-only
+// Config knobs are ignored here: the overheads (StealCost,
+// PushPopCost, yield spins, AffinityCost) because real locks and
+// syscalls cost what they cost, the Cancelled hook because rt cancels
+// per job through the Submit context, and Scheduling because workers
+// are always statically pinned (reports are normalized to Static).
 package rt
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hermes/internal/core"
 	"hermes/internal/cpu"
 	"hermes/internal/deque"
+	"hermes/internal/job"
+	"hermes/internal/meter"
+	"hermes/internal/obs"
 	"hermes/internal/power"
 	"hermes/internal/tempo"
 	"hermes/internal/units"
 	"hermes/internal/wl"
 )
 
-// Config configures a real-concurrency run.
-type Config struct {
-	// Spec selects the machine model used for tempo frequencies and
-	// power accounting. Defaults to cpu.SystemB (small enough that a
-	// typical host can host one worker per modeled domain).
-	Spec *cpu.Spec
-	// Workers defaults to min(GOMAXPROCS, domains).
-	Workers int
-	// Hermes enables unified tempo control; false runs the baseline.
-	Hermes bool
-	// Freqs is the N-frequency tempo set (defaults per system).
-	Freqs []units.Freq
-	// K is the workload threshold count (default 2).
-	K int
-	// InitialAvgDeque seeds thresholds (default 2).
-	InitialAvgDeque float64
-	// Seed for victim selection.
-	Seed int64
-}
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("rt: executor closed")
 
-// Report summarizes a real run.
-type Report struct {
-	Span    time.Duration
-	EnergyJ float64 // modeled energy over wall-clock residency
-	Tasks   int64
-	Steals  int64
-	Spawns  int64
-}
+// ErrNilTask is returned by Submit for a nil root task.
+var ErrNilTask = errors.New("rt: nil root task")
 
-func (r Report) String() string {
-	return fmt.Sprintf("rt: span=%v energy=%.2fJ tasks=%d steals=%d",
-		r.Span, r.EnergyJ, r.Tasks, r.Steals)
-}
+// injectCap bounds the submission queue; Submit blocks (or honours
+// its context) once this many root jobs await pickup.
+const injectCap = 4096
 
+// task is one deque item: a workload closure, the fork-join block it
+// belongs to, and the job it is accounted against.
 type task struct {
 	fn  wl.Task
 	blk *block
+	job *jobState
 }
 
+// block tracks one fork-join block's outstanding tasks.
 type block struct {
 	pending atomic.Int64
 	done    chan struct{} // closed when pending reaches zero
 }
 
+// jobState is the executor-side record of one submitted job.
+type jobState struct {
+	id      int64
+	ctx     context.Context
+	j       *job.Job
+	rootBlk *block
+	start   time.Time
+	snap    poolSnap
+
+	cancelled atomic.Bool
+	// interrupted records that cancellation actually preempted work
+	// (as opposed to the context merely expiring after the job
+	// finished); only then does the job complete with ctx's error.
+	interrupted           atomic.Bool
+	tasks, spawns, steals atomic.Int64
+
+	failMu  sync.Mutex
+	failErr error // first task panic, reported from Wait
+}
+
+// fail records the job's first task panic and drains the rest of the
+// job like a cancellation.
+func (js *jobState) fail(err error) {
+	js.failMu.Lock()
+	if js.failErr == nil {
+		js.failErr = err
+	}
+	js.failMu.Unlock()
+	js.cancelled.Store(true)
+}
+
+// taskErr returns the job's recorded task panic, if any.
+func (js *jobState) taskErr() error {
+	js.failMu.Lock()
+	defer js.failMu.Unlock()
+	return js.failErr
+}
+
+// poolSnap is a consistent copy of the pool-wide accumulators, taken
+// at job start and completion; a job's report is the delta.
+type poolSnap struct {
+	joules                 float64
+	busy, spin, idle, slow units.Time
+	freqBusy               map[units.Freq]units.Time
+	perWorker              []core.WorkerStats
+	failedSteals           int64
+	tempoSwitches          int64
+	dvfsCommits            int64
+}
+
 type worker struct {
-	e    *executor
+	e    *Exec
 	id   int
 	core *cpu.Core
 	dq   *deque.Deque[*task]
-	rng  *rand.Rand
+	rng  rngState
 
 	node    tempo.Node[*worker]
 	th      *tempo.Thresholds
 	wpLevel int
+	backoff time.Duration
+
+	// lastState shadows core.State so the owner can skip the meterMu
+	// round-trip when the state is unchanged (the common
+	// pop→run→pop chain stays Busy throughout). Only the owning
+	// worker writes its core's state, so the shadow needs no lock.
+	lastState cpu.CoreState
+	// curFreq publishes the worker's domain frequency for lock-free
+	// reads on the Work hot path. Workers sit on distinct clock
+	// domains, so only retuneLocked (under meterMu, for this worker or
+	// a victim) writes it.
+	curFreq atomic.Int64
 }
 
-type executor struct {
-	cfg     Config
-	mach    *cpu.Machine
-	model   *power.Model
+// rngState is a tiny splitmix64 PRNG: victim selection needs speed,
+// not quality, and each worker owns its own state (no locking).
+type rngState uint64
+
+func (r *rngState) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rngState) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Exec is a persistent real-concurrency worker pool serving submitted
+// jobs. All methods are safe for concurrent use.
+type Exec struct {
+	cfg   core.Config
+	mach  *cpu.Machine
+	model *power.Model
+
 	workers []*worker
+	injectq chan *task
+	closeCh chan struct{}
+	start   time.Time
 
 	// tempoMu serializes all tempo state (immediacy list, levels,
 	// thresholds, frequency votes). Tempo events are rare relative to
 	// task execution, so one lock is cheap and keeps the cross-worker
 	// list mutations safe.
 	tempoMu sync.Mutex
+	prof    *tempo.Profiler
 
-	// Energy accounting: piecewise integration over wall time.
+	// meterMu guards the machine state (core states, domain
+	// frequencies) and the piecewise residency/energy integration over
+	// wall time. Lock order: tempoMu (if held) before meterMu.
 	meterMu   sync.Mutex
 	lastTouch time.Time
 	joules    float64
+	busy      units.Time
+	spin      units.Time
+	idle      units.Time
+	slowBusy  units.Time
+	freqBusy  map[units.Freq]units.Time
+	perWorker []core.WorkerStats
 
-	tasks, steals, spawns atomic.Int64
-	done                  atomic.Bool
-	wg                    sync.WaitGroup
+	tasks, spawns, steals       atomic.Int64
+	failedSteals, tempoSwitches atomic.Int64
+	dvfsCommits                 atomic.Int64
+	workerSteals                []atomic.Int64
+
+	active atomic.Int64 // jobs submitted and not yet completed
+	nextID atomic.Int64
+
+	submitMu sync.Mutex
+	closed   bool
+	jobWG    sync.WaitGroup
+	workerWG sync.WaitGroup
 }
 
-// Run executes root on real goroutine workers and returns the report.
-func Run(cfg Config, root wl.Task) Report {
-	if cfg.Spec == nil {
-		cfg.Spec = cpu.SystemB()
-	}
+// NewExec validates cfg, starts the worker pool and returns the
+// executor. The pool idles (halted cores, no modeled energy draw)
+// until jobs arrive. An unset worker count defaults to
+// min(GOMAXPROCS, clock domains) — unlike the simulator's
+// one-per-domain default, real goroutine workers should not
+// oversubscribe the host.
+func NewExec(cfg core.Config) (*Exec, error) {
 	if cfg.Workers == 0 {
+		spec := cfg.Spec
+		if spec == nil {
+			spec = cpu.SystemA()
+		}
 		cfg.Workers = runtime.GOMAXPROCS(0)
-		if d := cfg.Spec.Domains(); cfg.Workers > d {
+		if d := spec.Domains(); cfg.Workers > d {
 			cfg.Workers = d
 		}
 	}
-	if cfg.Workers < 1 || cfg.Workers > cfg.Spec.Domains() {
-		panic(fmt.Sprintf("rt: %d workers not supported on %s", cfg.Workers, cfg.Spec.Name))
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.Freqs) == 0 {
-		cfg.Freqs = defaultFreqs(cfg.Spec)
-	}
-	if cfg.K == 0 {
-		cfg.K = 2
-	}
-	if cfg.InitialAvgDeque == 0 {
-		cfg.InitialAvgDeque = 2
-	}
-
-	e := &executor{
+	// Workers are always statically pinned here; reflect that in the
+	// config (and so in every report) rather than echoing a Dynamic
+	// request this executor does not model.
+	cfg.Scheduling = core.Static
+	e := &Exec{
 		cfg:       cfg,
 		mach:      cpu.NewMachine(cfg.Spec),
 		model:     power.NewModel(cfg.Spec),
+		injectq:   make(chan *task, injectCap),
+		closeCh:   make(chan struct{}),
+		start:     time.Now(),
 		lastTouch: time.Now(),
+		prof:      tempo.NewProfiler(cfg.ProfileWindow),
+		freqBusy:  map[units.Freq]units.Time{},
+		perWorker: make([]core.WorkerStats, cfg.Workers),
 	}
+	e.workerSteals = make([]atomic.Int64, cfg.Workers)
 	cores := e.mach.DistinctDomainCores(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
-			e:    e,
-			id:   i,
-			core: cores[i],
-			dq:   deque.New[*task](64),
-			rng:  rand.New(rand.NewSource(cfg.Seed*7_919 + int64(i))),
-			th:   tempo.NewThresholds(cfg.K, cfg.InitialAvgDeque),
+			e:         e,
+			id:        i,
+			core:      cores[i],
+			dq:        deque.New[*task](64),
+			rng:       rngState(cfg.Seed*7_919 + int64(i) + 1),
+			th:        tempo.NewThresholds(cfg.K, cfg.InitialAvgDeque),
+			lastState: cpu.IdleHalt,
 		}
 		w.node.Val = w
 		w.core.State = cpu.IdleHalt
+		w.curFreq.Store(int64(w.core.Dom.Freq()))
 		e.workers = append(e.workers, w)
 	}
-
-	start := time.Now()
-	rootBlk := &block{done: make(chan struct{})}
-	rootBlk.pending.Store(1)
-	e.workers[0].dq.Push(&task{fn: root, blk: rootBlk})
-
-	for _, w := range e.workers[1:] {
-		e.wg.Add(1)
-		go func(w *worker) {
-			defer e.wg.Done()
-			w.loop()
-		}(w)
+	for _, w := range e.workers {
+		e.workerWG.Add(1)
+		go w.loop()
 	}
-	// Worker 0 participates too.
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		e.workers[0].loop()
-	}()
-
-	<-rootBlk.done
-	e.done.Store(true)
-	e.wg.Wait()
-	e.touch() // final integration
-	return Report{
-		Span:    time.Since(start),
-		EnergyJ: e.joules,
-		Tasks:   e.tasks.Load(),
-		Steals:  e.steals.Load(),
-		Spawns:  e.spawns.Load(),
+	if cfg.Mode.Workload() {
+		e.workerWG.Add(1)
+		go e.profLoop()
 	}
+	if cfg.Observer != nil {
+		e.workerWG.Add(1)
+		go e.meterLoop()
+	}
+	return e, nil
 }
 
-func defaultFreqs(spec *cpu.Spec) []units.Freq {
-	switch spec.Name {
-	case "SystemA":
-		return []units.Freq{2_400_000 * units.KHz, 1_600_000 * units.KHz}
-	default:
-		return []units.Freq{spec.MaxFreq(), spec.Points[2].F}
+// Config returns the validated configuration the pool runs with
+// (defaults filled in).
+func (e *Exec) Config() core.Config { return e.cfg }
+
+// Submit enqueues root as a new job multiplexed over the shared pool
+// and returns its handle as soon as the job is queued; if the intake
+// queue is full (injectCap root jobs awaiting pickup) Submit blocks
+// until space frees or ctx is cancelled — natural backpressure for a
+// saturated pool. The job observes ctx: once ctx is cancelled the
+// scheduler stops executing the job's task bodies at spawn and steal
+// boundaries, drains its fork-join structure, and completes the job
+// with ctx's error.
+func (e *Exec) Submit(ctx context.Context, root wl.Task) (*job.Job, error) {
+	if root == nil {
+		return nil, ErrNilTask
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.submitMu.Lock()
+	if e.closed {
+		e.submitMu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: never enters the pool, matching the Sim
+		// backend's refusal to start a cancelled job (including its
+		// job-lifecycle telemetry).
+		id := e.nextID.Add(1)
+		e.submitMu.Unlock()
+		j := job.New(id)
+		e.emit(obs.Event{Kind: obs.JobStart, Job: id, Worker: -1, Victim: -1})
+		e.emit(obs.Event{Kind: obs.JobDone, Job: id, Worker: -1, Victim: -1})
+		j.Finish(core.Report{}, err)
+		return j, nil
+	}
+	js := &jobState{
+		id:      e.nextID.Add(1),
+		ctx:     ctx,
+		rootBlk: &block{done: make(chan struct{})},
+	}
+	js.j = job.New(js.id)
+	js.rootBlk.pending.Store(1)
+	e.active.Add(1)
+	e.jobWG.Add(1)
+	e.submitMu.Unlock()
+
+	// Baseline snapshot outside submitMu: it takes meterMu and copies
+	// per-worker stats, and concurrent submitters need not serialize
+	// behind that. The job is not yet enqueued, so the baseline still
+	// precedes all of its own activity.
+	js.snap = e.snapshot()
+	js.start = time.Now()
+	e.emit(obs.Event{Kind: obs.JobStart, Job: js.id, Worker: -1, Victim: -1})
+	go e.watch(js)
+	select {
+	case e.injectq <- &task{fn: root, blk: js.rootBlk, job: js}:
+	case <-ctx.Done():
+		// Cancelled before any worker picked the job up: it never
+		// entered the pool, so drain its root block directly. This is
+		// a genuine interruption even though watch may find the block
+		// already closed.
+		js.interrupted.Store(true)
+		js.cancelled.Store(true)
+		if js.rootBlk.pending.Add(-1) == 0 {
+			close(js.rootBlk.done)
+		}
+	}
+	return js.j, nil
 }
 
-// mutate integrates modeled power up to now under meterMu, then
-// applies fn to machine state. All reads and writes of core states and
-// domain frequencies go through meterMu, so the integration always
-// sees a consistent machine and the race detector stays quiet. Lock
-// order: tempoMu (if held) before meterMu.
-func (e *executor) mutate(fn func()) {
+// Close rejects further submissions, waits for every submitted job to
+// complete, then stops the workers. It is safe to call from multiple
+// goroutines; every call returns only once the pool has fully shut
+// down.
+func (e *Exec) Close() error {
+	e.submitMu.Lock()
+	first := !e.closed
+	e.closed = true
+	e.submitMu.Unlock()
+	if first {
+		e.jobWG.Wait()
+		close(e.closeCh)
+	}
+	// Concurrent or repeated closers block here until the workers
+	// (released by the first closer) have all exited.
+	e.workerWG.Wait()
+	e.mutate(nil) // final integration
+	return nil
+}
+
+// watch drives one job's lifecycle: flag cancellation the moment its
+// context fires, wait for the fork-join structure to drain, then
+// assemble the per-job report from pool deltas. A job whose work
+// completed before cancellation took effect reports success — the
+// context error is returned only when the run was actually
+// interrupted (a task panic beats both).
+func (e *Exec) watch(js *jobState) {
+	defer e.jobWG.Done()
+	select {
+	case <-js.ctx.Done():
+		// Flag cancellation and wait for the drain. interrupted is
+		// set only at the sites that actually skip or cut work short,
+		// so a job whose tasks all completed anyway still reports
+		// success even if its context expired at the finish line.
+		js.cancelled.Store(true)
+		<-js.rootBlk.done
+	case <-js.rootBlk.done:
+	}
+	end := e.snapshot()
+	r := e.buildReport(js, end)
+	e.active.Add(-1)
+	e.emit(obs.Event{Kind: obs.JobDone, Job: js.id, Worker: -1, Victim: -1, Energy: r.EnergyJ})
+	err := js.taskErr()
+	if err == nil && js.interrupted.Load() {
+		err = js.ctx.Err()
+	}
+	js.j.Finish(r, err)
+}
+
+// Run executes root as a single job on a fresh pool and tears the
+// pool down: the one-shot convenience entry, and the shape the old
+// rt.Run API had.
+func Run(cfg core.Config, root wl.Task) (core.Report, error) {
+	e, err := NewExec(cfg)
+	if err != nil {
+		return core.Report{}, err
+	}
+	defer e.Close()
+	j, err := e.Submit(context.Background(), root)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return j.Wait()
+}
+
+// snapshot copies the pool accumulators consistently (integrating up
+// to now first).
+func (e *Exec) snapshot() poolSnap {
 	e.meterMu.Lock()
-	now := time.Now()
-	dt := now.Sub(e.lastTouch).Seconds()
-	if dt > 0 {
-		e.joules += e.model.MachineWatts(e.mach) * dt
-		e.lastTouch = now
+	e.integrateLocked(time.Now())
+	s := poolSnap{
+		joules:        e.joules,
+		busy:          e.busy,
+		spin:          e.spin,
+		idle:          e.idle,
+		slow:          e.slowBusy,
+		freqBusy:      make(map[units.Freq]units.Time, len(e.freqBusy)),
+		perWorker:     make([]core.WorkerStats, len(e.perWorker)),
+		failedSteals:  e.failedSteals.Load(),
+		tempoSwitches: e.tempoSwitches.Load(),
+		dvfsCommits:   e.dvfsCommits.Load(),
 	}
+	for f, t := range e.freqBusy {
+		s.freqBusy[f] = t
+	}
+	copy(s.perWorker, e.perWorker)
+	for i := range s.perWorker {
+		s.perWorker[i].Steals = e.workerSteals[i].Load()
+	}
+	e.meterMu.Unlock()
+	return s
+}
+
+// buildReport renders a job's report as the pool delta over its span.
+// Counts the pool cannot attribute to one job (failed steals, tempo
+// switches, residency) cover everything that happened during the
+// job's span, concurrent neighbours included; Tasks, Spawns and
+// Steals are exact per-job attributions.
+func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
+	span := units.Time(time.Since(js.start).Nanoseconds()) * units.Nanosecond
+	energy := end.joules - js.snap.joules
+	r := core.Report{
+		System:        e.cfg.Spec.Name,
+		Workers:       e.cfg.Workers,
+		Mode:          e.cfg.Mode,
+		Sched:         e.cfg.Scheduling,
+		Span:          span,
+		EnergyJ:       energy,
+		MeterJ:        energy, // no modeled DAQ on the host
+		EDP:           meter.EDP(energy, span),
+		Tasks:         js.tasks.Load(),
+		Spawns:        js.spawns.Load(),
+		Steals:        js.steals.Load(),
+		FailedSteals:  end.failedSteals - js.snap.failedSteals,
+		TempoSwitches: end.tempoSwitches - js.snap.tempoSwitches,
+		DVFSCommits:   end.dvfsCommits - js.snap.dvfsCommits,
+		BusyTime:      end.busy - js.snap.busy,
+		SpinTime:      end.spin - js.snap.spin,
+		IdleTime:      end.idle - js.snap.idle,
+		SlowBusyTime:  end.slow - js.snap.slow,
+		FreqBusy:      map[units.Freq]units.Time{},
+		PerWorker:     make([]core.WorkerStats, len(end.perWorker)),
+	}
+	if span > 0 {
+		r.AvgPowerW = energy / span.Seconds()
+	}
+	for f, t := range end.freqBusy {
+		if d := t - js.snap.freqBusy[f]; d > 0 {
+			r.FreqBusy[f] = d
+		}
+	}
+	for i := range end.perWorker {
+		a, b := js.snap.perWorker[i], end.perWorker[i]
+		r.PerWorker[i] = core.WorkerStats{
+			Busy:     b.Busy - a.Busy,
+			SlowBusy: b.SlowBusy - a.SlowBusy,
+			Spin:     b.Spin - a.Spin,
+			SlowSpin: b.SlowSpin - a.SlowSpin,
+			Idle:     b.Idle - a.Idle,
+			Steals:   b.Steals - a.Steals,
+		}
+	}
+	return r
+}
+
+// emit streams an event to the configured observer, stamping
+// wall-clock time since executor start if the event carries none.
+func (e *Exec) emit(ev obs.Event) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	if ev.Time == 0 {
+		ev.Time = units.Time(time.Since(e.start).Nanoseconds()) * units.Nanosecond
+	}
+	e.cfg.Observer.Observe(ev)
+}
+
+// mutate integrates modeled power and residency up to now under
+// meterMu, then applies fn to machine state. All reads and writes of
+// core states and domain frequencies go through meterMu, so the
+// integration always sees a consistent machine and the race detector
+// stays quiet. Lock order: tempoMu (if held) before meterMu.
+func (e *Exec) mutate(fn func()) {
+	e.meterMu.Lock()
+	e.integrateLocked(time.Now())
 	if fn != nil {
 		fn()
 	}
 	e.meterMu.Unlock()
 }
 
-// touch integrates power with no state change.
-func (e *executor) touch() { e.mutate(nil) }
+// integrateLocked advances energy and residency accumulators to now;
+// meterMu must be held.
+func (e *Exec) integrateLocked(now time.Time) {
+	dt := now.Sub(e.lastTouch)
+	if dt <= 0 {
+		return
+	}
+	e.lastTouch = now
+	e.joules += e.model.MachineWatts(e.mach) * dt.Seconds()
+	dtu := units.Time(dt.Nanoseconds()) * units.Nanosecond
+	maxF := e.cfg.Spec.MaxFreq()
+	for i, w := range e.workers {
+		f := w.core.Dom.Freq()
+		pw := &e.perWorker[i]
+		switch w.core.State {
+		case cpu.Busy:
+			e.busy += dtu
+			e.freqBusy[f] += dtu
+			pw.Busy += dtu
+			if f != maxF {
+				e.slowBusy += dtu
+				pw.SlowBusy += dtu
+			}
+		case cpu.Spin:
+			e.spin += dtu
+			pw.Spin += dtu
+			if f != maxF {
+				pw.SlowSpin += dtu
+			}
+		case cpu.IdleHalt:
+			e.idle += dtu
+			pw.Idle += dtu
+		}
+	}
+}
 
 func (w *worker) setState(st cpu.CoreState) {
+	if w.lastState == st {
+		return
+	}
+	w.lastState = st
 	w.e.mutate(func() {
 		w.core.State = st
 	})
 }
 
-// freq reads the worker's current domain frequency consistently.
+// freq reads the worker's current domain frequency from its
+// lock-free shadow: Work only needs a fresh snapshot, and taking the
+// global meterMu per leaf task would serialize the pool.
 func (w *worker) freq() units.Freq {
-	w.e.meterMu.Lock()
-	f := w.core.Dom.Freq()
-	w.e.meterMu.Unlock()
-	return f
+	return units.Freq(w.curFreq.Load())
 }
 
-// loop is Algorithm 3.1 on a real goroutine.
+// profLoop is the online profiler of Section 3.2 on wall-clock time:
+// every ProfilePeriod it samples all deque sizes and retunes every
+// worker's thresholds from the rolling average.
+func (e *Exec) profLoop() {
+	defer e.workerWG.Done()
+	tick := time.NewTicker(e.cfg.ProfilePeriod.Duration())
+	defer tick.Stop()
+	sizes := make([]int, len(e.workers))
+	for {
+		select {
+		case <-e.closeCh:
+			return
+		case <-tick.C:
+		}
+		for i, w := range e.workers {
+			sizes[i] = w.dq.Size()
+		}
+		e.tempoMu.Lock()
+		e.prof.Observe(sizes)
+		avg := e.prof.Average()
+		for _, w := range e.workers {
+			w.th.Retune(avg)
+		}
+		e.tempoMu.Unlock()
+	}
+}
+
+// meterLoop streams 100 Hz energy samples to the observer, mirroring
+// the paper's DAQ cadence on wall-clock time.
+func (e *Exec) meterLoop() {
+	defer e.workerWG.Done()
+	tick := time.NewTicker(meter.SamplePeriod.Duration())
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.closeCh:
+			return
+		case <-tick.C:
+		}
+		e.meterMu.Lock()
+		e.integrateLocked(time.Now())
+		watts := e.model.MachineWatts(e.mach)
+		joules := e.joules
+		e.meterMu.Unlock()
+		e.emit(obs.Event{Kind: obs.EnergySample, Worker: -1, Victim: -1, Power: watts, Energy: joules})
+	}
+}
+
+// loop is Algorithm 3.1 on a real goroutine, extended with the job
+// intake: pop local work; failing that, accept a submitted root;
+// failing that, steal; failing that, idle with backoff parked on the
+// intake queue so fresh jobs wake an idle pool immediately.
 func (w *worker) loop() {
-	backoff := time.Microsecond * 20
-	for !w.e.done.Load() {
+	defer w.e.workerWG.Done()
+	for {
+		select {
+		case <-w.e.closeCh:
+			return
+		default:
+		}
 		if t, ok := w.popLocal(); ok {
 			w.runTask(t)
-			backoff = 20 * time.Microsecond
 			continue
 		}
 		w.outOfWork()
+		select {
+		case t := <-w.e.injectq:
+			w.runTask(t)
+			continue
+		default:
+		}
 		if t, ok := w.stealRound(); ok {
 			w.runTask(t)
-			backoff = 20 * time.Microsecond
 			continue
 		}
+		w.idleWait()
+	}
+}
+
+// idleWait parks the worker on the intake queue with exponential
+// backoff. A pool with no jobs at all halts its cores (no modeled
+// energy draw) and backs off further than one between steal rounds.
+func (w *worker) idleWait() {
+	maxBackoff := 200 * time.Microsecond
+	if w.e.active.Load() == 0 {
+		w.setState(cpu.IdleHalt)
+		maxBackoff = 2 * time.Millisecond
+	} else {
 		w.setState(cpu.Spin)
-		time.Sleep(backoff)
-		if backoff < 200*time.Microsecond {
-			backoff *= 2
-		}
+	}
+	if w.backoff < 20*time.Microsecond {
+		w.backoff = 20 * time.Microsecond
+	} else if w.backoff < maxBackoff {
+		w.backoff *= 2
+	} else {
+		w.backoff = maxBackoff
+	}
+	t := time.NewTimer(w.backoff)
+	defer t.Stop()
+	select {
+	case tk := <-w.e.injectq:
+		w.runTask(tk)
+	case <-w.e.closeCh:
+	case <-t.C:
 	}
 }
 
@@ -266,111 +694,211 @@ func (w *worker) popLocal() (*task, bool) {
 	return t, true
 }
 
+// push places a spawned task on the worker's own tail (Figure 5
+// PUSH), then applies the workload-sensitive growth check.
 func (w *worker) push(t *task) {
 	w.e.spawns.Add(1)
+	if t.job != nil {
+		t.job.spawns.Add(1)
+	}
 	w.dq.Push(t)
-	if !w.e.cfg.Hermes {
+	if !w.e.cfg.Mode.Workload() {
 		return
 	}
+	var evs []obs.Event
 	w.e.tempoMu.Lock()
 	if w.th.WouldRaise(w.dq.Size()) {
 		w.th.Raise()
+		// Top-tier veto: a deque past the top threshold marks a
+		// worker with substantial pending work, shedding any
+		// remaining thief procrastination (as in internal/core).
 		if w.th.Tier() == w.th.K() && w.wpLevel > 0 {
-			w.wpLevel = 0 // top-tier veto, as in internal/core
+			w.wpLevel = 0
 		}
-		w.retuneLocked()
+		w.retuneLocked(&evs)
 	}
 	w.e.tempoMu.Unlock()
+	w.e.emitAll(evs)
 }
 
+// afterShrink applies Figure 5's POP tail check: a deque that shrank
+// below the current tier's threshold lowers the tempo — unless the
+// worker holds the most immediate work (head of the immediacy list).
 func (w *worker) afterShrink() {
-	if !w.e.cfg.Hermes {
+	if !w.e.cfg.Mode.Workload() {
 		return
 	}
+	var evs []obs.Event
 	w.e.tempoMu.Lock()
-	if !w.node.AtHead() && w.th.WouldLower(w.dq.Size()) {
+	atHead := w.e.cfg.Mode.Workpath() && w.node.AtHead()
+	if !atHead && w.th.WouldLower(w.dq.Size()) {
 		w.th.Lower()
-		w.retuneLocked()
+		w.retuneLocked(&evs)
 	}
 	w.e.tempoMu.Unlock()
+	w.e.emitAll(evs)
 }
 
+// outOfWork relays immediacy down the thief chain and leaves the
+// immediacy list (Algorithm 3.1 lines 6–14).
 func (w *worker) outOfWork() {
-	if !w.e.cfg.Hermes {
+	if !w.e.cfg.Mode.Workpath() {
 		return
 	}
+	var evs []obs.Event
 	w.e.tempoMu.Lock()
 	if w.node.InList() {
 		w.node.Relay(func(x *worker) {
 			if x.wpLevel > 0 {
 				x.wpLevel--
 			}
-			x.retuneLocked()
+			x.retuneLocked(&evs)
 		})
 		w.node.Unlink()
 	}
 	w.e.tempoMu.Unlock()
+	w.e.emitAll(evs)
 }
 
+// stealRound probes every other worker once from a random start until
+// a steal lands, applying the thief- and victim-side tempo rules.
 func (w *worker) stealRound() (*task, bool) {
 	n := len(w.e.workers)
 	if n == 1 {
 		return nil, false
 	}
-	start := w.rng.Intn(n)
+	start := w.rng.intn(n)
 	for i := 0; i < n; i++ {
 		v := w.e.workers[(start+i)%n]
 		if v == w {
 			continue
 		}
-		if t, ok := v.dq.Steal(); ok {
-			w.e.steals.Add(1)
-			if w.e.cfg.Hermes {
-				w.e.tempoMu.Lock()
-				w.wpLevel = v.wpLevel + 1
-				if max := len(w.e.cfg.Freqs) + 1; w.wpLevel > max {
-					w.wpLevel = max
-				}
-				if !w.node.InList() {
-					tempo.InsertThief(&w.node, &v.node)
-				}
-				w.retuneLocked()
-				// Victim-side shrink check (Figure 5 STEAL).
-				if !v.node.AtHead() && v.th.WouldLower(v.dq.Size()) {
-					v.th.Lower()
-					v.retuneLocked()
-				}
-				w.e.tempoMu.Unlock()
-			}
-			return t, true
+		t, ok := v.dq.Steal()
+		if !ok {
+			w.e.failedSteals.Add(1)
+			continue
 		}
+		w.e.steals.Add(1)
+		w.e.workerSteals[w.id].Add(1)
+		if t.job != nil {
+			t.job.steals.Add(1)
+		}
+		w.e.emit(obs.Event{Kind: obs.Steal, Worker: w.id, Victim: v.id})
+		mode := w.e.cfg.Mode
+		var evs []obs.Event
+		if mode.Workpath() {
+			w.e.tempoMu.Lock()
+			// Thief procrastination: one workpath level below the
+			// victim, inserted after it on the immediacy list.
+			w.wpLevel = v.wpLevel + 1
+			if max := w.e.cfg.MaxTempoLevels - 1; w.wpLevel > max {
+				w.wpLevel = max
+			}
+			if !w.node.InList() {
+				tempo.InsertThief(&w.node, &v.node)
+			}
+			w.retuneLocked(&evs)
+			w.victimShrinkLocked(v, &evs)
+			w.e.tempoMu.Unlock()
+		} else if mode.Workload() {
+			w.e.tempoMu.Lock()
+			// Figure 4(b): the fresh thief's tempo comes from its own
+			// deque size — empty deque, lowest tier.
+			w.th.SetTier(w.th.TierFor(w.dq.Size()))
+			w.retuneLocked(&evs)
+			w.victimShrinkLocked(v, &evs)
+			w.e.tempoMu.Unlock()
+		}
+		w.e.emitAll(evs)
+		return t, true
 	}
 	return nil, false
 }
 
+// victimShrinkLocked applies Figure 5's STEAL check on the victim
+// side; tempoMu must be held.
+func (w *worker) victimShrinkLocked(v *worker, pend *[]obs.Event) {
+	if !w.e.cfg.Mode.Workload() {
+		return
+	}
+	atHead := w.e.cfg.Mode.Workpath() && v.node.AtHead()
+	if !atHead && v.th.WouldLower(v.dq.Size()) {
+		v.th.Lower()
+		v.retuneLocked(pend)
+	}
+}
+
 // retuneLocked applies the composed level as the core's frequency
 // vote. Transitions commit immediately (the host has no modeled
-// latency daemon); tempoMu must be held.
-func (w *worker) retuneLocked() {
-	level := w.wpLevel + (w.th.K() - w.th.Tier())
+// latency daemon); tempoMu must be held. Observer events are not
+// emitted here — user callbacks must not run under tempoMu — but
+// appended to pend for the caller to emit after unlocking.
+func (w *worker) retuneLocked(pend *[]obs.Event) {
+	level := w.wpLevel
+	if w.e.cfg.Mode.Workload() {
+		level += w.th.K() - w.th.Tier()
+	}
 	fi := level
 	if max := len(w.e.cfg.Freqs) - 1; fi > max {
 		fi = max
 	}
 	f := w.e.cfg.Freqs[fi]
+	if w.core.Req == f {
+		return
+	}
+	w.e.tempoSwitches.Add(1)
+	if w.e.cfg.Observer != nil {
+		*pend = append(*pend, obs.Event{Kind: obs.TempoSwitch, Worker: w.id, Victim: -1, Freq: f})
+	}
 	w.e.mutate(func() {
-		if w.core.Req == f {
-			return
-		}
+		old := w.core.Dom.Freq()
 		w.e.mach.Request(w.core, f, 0)
 		w.core.Dom.ForceFreq(f)
+		w.curFreq.Store(int64(w.core.Dom.Freq()))
+		if w.core.Dom.Freq() != old {
+			w.e.dvfsCommits.Add(1)
+			if w.e.cfg.Observer != nil {
+				*pend = append(*pend, obs.Event{Kind: obs.DVFSCommit, Worker: w.id, Victim: -1, Freq: f})
+			}
+		}
 	})
 }
 
+// emitAll streams deferred events once no scheduler lock is held.
+func (e *Exec) emitAll(evs []obs.Event) {
+	for _, ev := range evs {
+		e.emit(ev)
+	}
+}
+
+// runTask executes one task, skipping the body (but not the fork-join
+// bookkeeping) when its job has been cancelled, so cancelled jobs
+// drain instead of running. A panicking task body fails its job (the
+// error surfaces from Job.Wait, matching the Sim backend) without
+// taking the shared pool down.
 func (w *worker) runTask(t *task) {
+	w.backoff = 0
 	w.setState(cpu.Busy)
-	w.e.tasks.Add(1)
-	t.fn(ctx{w})
+	js := t.job
+	if js != nil && js.cancelled.Load() {
+		js.interrupted.Store(true) // body skipped: cancellation bit
+	} else {
+		w.e.tasks.Add(1)
+		if js != nil {
+			js.tasks.Add(1)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					if js == nil {
+						panic(p)
+					}
+					js.fail(fmt.Errorf("rt: job %d task panicked: %v\n%s", js.id, p, debug.Stack()))
+				}
+			}()
+			t.fn(ctx{w, js})
+		}()
+	}
 	if t.blk != nil && t.blk.pending.Add(-1) == 0 {
 		close(t.blk.done)
 	}
@@ -405,12 +933,22 @@ func (w *worker) join(blk *block) {
 	}
 }
 
-// ctx implements wl.Ctx over a real worker.
-type ctx struct{ w *worker }
+// ctx implements wl.Ctx over a real worker executing one job's task.
+type ctx struct {
+	w  *worker
+	js *jobState
+}
 
 var _ wl.Ctx = ctx{}
 
 func (c ctx) Go(tasks ...wl.Task) {
+	if c.js != nil && c.js.cancelled.Load() {
+		// Spawn boundary: a cancelled job forks no new work.
+		if len(tasks) > 0 {
+			c.js.interrupted.Store(true)
+		}
+		return
+	}
 	w := c.w
 	switch len(tasks) {
 	case 0:
@@ -422,7 +960,7 @@ func (c ctx) Go(tasks ...wl.Task) {
 	blk := &block{done: make(chan struct{})}
 	blk.pending.Store(int64(len(tasks) - 1))
 	for i := len(tasks) - 1; i >= 1; i-- {
-		w.push(&task{fn: tasks[i], blk: blk})
+		w.push(&task{fn: tasks[i], blk: blk, job: c.js})
 	}
 	tasks[0](c)
 	w.join(blk)
@@ -456,17 +994,30 @@ func (c ctx) WorkMix(cy units.Cycles, memFrac float64) {
 
 func (c ctx) Worker() int { return c.w.id }
 
-// sleepFor burns the requested wall time: sleep for the bulk, spin the
-// sub-50µs remainder for fidelity.
+// sleepFor burns the requested wall time in cancellation-aware slices:
+// sleep in ≤1 ms chunks, spin the sub-100µs remainder for fidelity,
+// and bail out the moment the job is cancelled.
 func (c ctx) sleepFor(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	end := time.Now().Add(d)
-	if d > 100*time.Microsecond {
-		time.Sleep(d - 50*time.Microsecond)
-	}
-	for time.Now().Before(end) {
-		runtime.Gosched()
+	for {
+		rem := time.Until(end)
+		if rem <= 0 {
+			return
+		}
+		if c.js != nil && c.js.cancelled.Load() {
+			c.js.interrupted.Store(true) // work cut short
+			return
+		}
+		switch {
+		case rem > time.Millisecond:
+			time.Sleep(time.Millisecond)
+		case rem > 100*time.Microsecond:
+			time.Sleep(rem - 50*time.Microsecond)
+		default:
+			runtime.Gosched()
+		}
 	}
 }

@@ -1,10 +1,17 @@
 package rt
 
 import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"hermes/internal/core"
 	"hermes/internal/cpu"
+	"hermes/internal/job"
 	"hermes/internal/units"
 	"hermes/internal/wl"
 )
@@ -12,7 +19,7 @@ import (
 func TestEveryTaskRunsOnce(t *testing.T) {
 	const n = 400
 	var counts [n]atomic.Int32
-	r := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 1}, func(c wl.Ctx) {
+	r, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: core.Unified, Seed: 1}, func(c wl.Ctx) {
 		wl.For(c, 0, n, 4, func(c wl.Ctx, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				counts[i].Add(1)
@@ -20,6 +27,9 @@ func TestEveryTaskRunsOnce(t *testing.T) {
 			c.Work(units.Cycles(100_000 * (hi - lo)))
 		})
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range counts {
 		if got := counts[i].Load(); got != 1 {
 			t.Fatalf("element %d ran %d times", i, got)
@@ -28,18 +38,24 @@ func TestEveryTaskRunsOnce(t *testing.T) {
 	if r.Tasks == 0 || r.Span <= 0 || r.EnergyJ <= 0 {
 		t.Fatalf("bad report: %+v", r)
 	}
+	if r.System != "SystemB" || r.Mode != core.Unified || r.Workers != 4 {
+		t.Fatalf("unified report fields wrong: %+v", r)
+	}
 }
 
 func TestRealParallelism(t *testing.T) {
 	// With 4 workers and plenty of independent leaves, several workers
 	// must actually execute tasks (worker ids observed > 1).
 	var seen [4]atomic.Int32
-	Run(Config{Spec: cpu.SystemB(), Workers: 4, Seed: 2}, func(c wl.Ctx) {
+	_, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 4, Seed: 2}, func(c wl.Ctx) {
 		wl.For(c, 0, 64, 1, func(c wl.Ctx, lo, hi int) {
 			seen[c.Worker()].Add(1)
 			c.Work(2_000_000)
 		})
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	workersUsed := 0
 	for i := range seen {
 		if seen[i].Load() > 0 {
@@ -64,48 +80,257 @@ func TestNestedBlocks(t *testing.T) {
 			c.Go(tree(d-1), tree(d-1))
 		}
 	}
-	Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 3}, tree(7))
+	if _, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: core.Unified, Seed: 3}, tree(7)); err != nil {
+		t.Fatal(err)
+	}
 	if got := leaves.Load(); got != 128 {
 		t.Fatalf("leaves = %d, want 128", got)
 	}
 }
 
-func TestBaselineVsHermesBothComplete(t *testing.T) {
-	work := func(c wl.Ctx) {
-		wl.For(c, 0, 128, 2, func(c wl.Ctx, lo, hi int) {
-			c.WorkMix(units.Cycles(300_000*(hi-lo)), 0.7)
-		})
+func TestAllModesComplete(t *testing.T) {
+	for _, mode := range []core.Mode{core.Baseline, core.WorkpathOnly, core.WorkloadOnly, core.Unified} {
+		work := func(c wl.Ctx) {
+			wl.For(c, 0, 128, 2, func(c wl.Ctx, lo, hi int) {
+				c.WorkMix(units.Cycles(300_000*(hi-lo)), 0.7)
+			})
+		}
+		r, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: mode, Seed: 4}, work)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if r.EnergyJ <= 0 {
+			t.Fatalf("%v: no energy accounted", mode)
+		}
+		if mode == core.Baseline && r.TempoSwitches != 0 {
+			t.Fatalf("baseline made %d tempo switches", r.TempoSwitches)
+		}
+		// No timing assertion: wall-clock on shared CI is not a meter.
 	}
-	b := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: false, Seed: 4}, work)
-	h := Run(Config{Spec: cpu.SystemB(), Workers: 4, Hermes: true, Seed: 4}, work)
-	if b.EnergyJ <= 0 || h.EnergyJ <= 0 {
-		t.Fatal("no energy accounted")
-	}
-	if b.Steals == 0 && h.Steals == 0 {
-		t.Log("note: no steals occurred in either run (small workload)")
-	}
-	// No timing assertion: wall-clock on shared CI is not a meter.
 }
 
 func TestSingleWorker(t *testing.T) {
-	ran := 0
-	Run(Config{Spec: cpu.SystemB(), Workers: 1, Hermes: true, Seed: 5}, func(c wl.Ctx) {
+	var ran atomic.Int32
+	_, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 1, Mode: core.Unified, Seed: 5}, func(c wl.Ctx) {
 		c.Go(
-			func(wl.Ctx) { ran++ },
-			func(wl.Ctx) { ran++ },
-			func(wl.Ctx) { ran++ },
+			func(wl.Ctx) { ran.Add(1) },
+			func(wl.Ctx) { ran.Add(1) },
+			func(wl.Ctx) { ran.Add(1) },
 		)
 	})
-	if ran != 3 {
-		t.Fatalf("ran = %d, want 3", ran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran = %d, want 3", got)
 	}
 }
 
 func TestWorkerValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for too many workers")
+	if _, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 5}); err == nil {
+		t.Fatal("expected error for too many workers")
+	}
+	if _, err := Run(core.Config{Spec: cpu.SystemB(), Workers: 5}, func(wl.Ctx) {}); err == nil {
+		t.Fatal("expected error from Run for too many workers")
+	}
+}
+
+func TestMultiJobSubmission(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: core.Unified, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const jobs, leaves = 5, 32
+	counters := make([]atomic.Int32, jobs)
+	var subs []*job.Job
+	for i := 0; i < jobs; i++ {
+		i := i
+		j, err := e.Submit(context.Background(), func(c wl.Ctx) {
+			wl.For(c, 0, leaves, 1, func(c wl.Ctx, lo, hi int) {
+				counters[i].Add(int32(hi - lo))
+				c.Work(200_000)
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	Run(Config{Spec: cpu.SystemB(), Workers: 5}, func(wl.Ctx) {})
+		subs = append(subs, j)
+	}
+	seenIDs := map[int64]bool{}
+	for i, j := range subs {
+		r, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if counters[i].Load() != leaves {
+			t.Fatalf("job %d ran %d/%d leaves", i, counters[i].Load(), leaves)
+		}
+		if r.Tasks == 0 || r.Span <= 0 {
+			t.Fatalf("job %d bad report: %+v", i, r)
+		}
+		if seenIDs[j.ID()] {
+			t.Fatalf("duplicate job id %d", j.ID())
+		}
+		seenIDs[j.ID()] = true
+	}
+}
+
+func TestJobCancellation(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Mode: core.Baseline, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int32
+	j, err := e.Submit(ctx, func(c wl.Ctx) {
+		wl.For(c, 0, 10_000, 1, func(c wl.Ctx, lo, hi int) {
+			ran.Add(1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			c.Mem(500 * units.Microsecond)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job did not drain")
+	}
+	if _, err := j.Wait(); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop the job (ran %d leaves)", n)
+	}
+}
+
+func TestTaskPanicFailsOnlyItsJob(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Mode: core.Unified, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	bad, err := e.Submit(context.Background(), func(c wl.Ctx) {
+		c.Go(
+			func(wl.Ctx) { panic("boom") },
+			func(c wl.Ctx) { c.Work(100_000) },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	good, err := e.Submit(context.Background(), func(c wl.Ctx) {
+		wl.For(c, 0, 16, 1, func(c wl.Ctx, lo, hi int) {
+			ran.Add(1)
+			c.Work(100_000)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Wait(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking job err = %v", err)
+	}
+	if _, err := good.Wait(); err != nil {
+		t.Fatalf("good job failed after neighbour panic: %v", err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("good job ran %d/16 leaves", ran.Load())
+	}
+}
+
+func TestPreCancelledSubmit(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	j, err := e.Submit(ctx, func(wl.Ctx) { ran.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, werr := j.Wait()
+	if werr != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", werr)
+	}
+	if ran.Load() != 0 || r.Tasks != 0 {
+		t.Fatalf("pre-cancelled job executed work (ran=%d tasks=%d)", ran.Load(), r.Tasks)
+	}
+}
+
+func TestNativeDefaultWorkersClampedToHost(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	want := runtime.GOMAXPROCS(0)
+	if d := cpu.SystemB().Domains(); want > d {
+		want = d
+	}
+	if got := e.Config().Workers; got != want {
+		t.Fatalf("default native workers = %d, want min(GOMAXPROCS, domains) = %d", got, want)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), func(wl.Ctx) {}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Submit(context.Background(), nil); err != ErrClosed && err != ErrNilTask {
+		t.Fatalf("nil task after close: %v", err)
+	}
+	// A cancelled context must not smuggle a submission past Close.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Submit(cctx, func(wl.Ctx) {}); err != ErrClosed {
+		t.Fatalf("cancelled-ctx submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentClose(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), func(c wl.Ctx) { c.Work(1_000_000) }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
 }

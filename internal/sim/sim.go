@@ -15,6 +15,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"hermes/internal/units"
@@ -87,6 +88,31 @@ type Engine struct {
 	alive   int
 	control chan ctrl
 	current *Proc
+
+	// trap records the first panic raised inside a process. Once set,
+	// the engine stops event processing, unwinds every remaining
+	// process (park resumes panic with abortSignal, so user defers
+	// run), and re-raises the original panic from Run on the caller's
+	// goroutine — where it can be recovered like any function panic
+	// instead of crashing the process from an engine goroutine.
+	trap    any
+	trapped bool
+}
+
+// abortSignal unwinds a parked process during trap cleanup.
+type abortSignal struct{}
+
+// TaskPanic is the value Engine.Run re-raises when a process
+// panicked: the original panic value plus the stack of the faulting
+// process goroutine, which would otherwise be lost in the trap/
+// re-raise handoff.
+type TaskPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (t *TaskPanic) Error() string {
+	return fmt.Sprintf("%v\n%s", t.Value, t.Stack)
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -110,7 +136,20 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		<-p.wake // first resume
 		p.pending = nil
 		p.state = stateRunning
-		p.fn(p)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, unwinding := r.(abortSignal); !unwinding && !e.trapped {
+						e.trapped = true
+						e.trap = &TaskPanic{Value: r, Stack: debug.Stack()}
+					}
+				}
+			}()
+			if e.trapped {
+				return // woken only to unwind before ever starting
+			}
+			p.fn(p)
+		}()
 		p.state = stateDone
 		e.control <- ctrl{p: p, finished: true}
 	}()
@@ -128,19 +167,33 @@ func (e *Engine) schedule(t units.Time, p *Proc) *Event {
 }
 
 // Run executes events until every process has finished. It panics on
-// deadlock: no runnable events while processes are still alive.
+// deadlock: no runnable events while processes are still alive. A
+// panic inside a process is re-raised here, on the caller's
+// goroutine, after every other process has been unwound.
 func (e *Engine) Run() {
 	for e.alive > 0 {
-		ev := e.next()
-		if ev == nil {
-			panic("sim: deadlock — " + e.describeStall())
+		var p *Proc
+		if e.trapped {
+			p = e.nextUnfinished()
+			if p == nil {
+				break
+			}
+			if p.pending != nil {
+				p.pending.Cancel()
+				p.pending = nil
+			}
+		} else {
+			ev := e.next()
+			if ev == nil {
+				panic("sim: deadlock — " + e.describeStall())
+			}
+			if ev.t < e.now {
+				panic("sim: time went backwards")
+			}
+			e.now = ev.t
+			p = ev.p
+			p.pending = nil
 		}
-		if ev.t < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.t
-		p := ev.p
-		p.pending = nil
 		p.state = stateRunning
 		e.current = p
 		p.wake <- struct{}{}
@@ -150,6 +203,22 @@ func (e *Engine) Run() {
 			e.alive--
 		}
 	}
+	if e.trapped {
+		panic(e.trap)
+	}
+}
+
+// nextUnfinished returns any process that has not completed, for trap
+// unwinding. At the top of Run's loop no process is mid-handshake, so
+// every non-done process is parked (or never started) and safe to
+// resume.
+func (e *Engine) nextUnfinished() *Proc {
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			return p
+		}
+	}
+	return nil
 }
 
 func (e *Engine) next() *Event {
@@ -173,13 +242,18 @@ func (e *Engine) describeStall() string {
 	return b.String()
 }
 
-// park hands control back to the engine and blocks until woken.
+// park hands control back to the engine and blocks until woken. If
+// another process panicked while we were parked, resume by unwinding
+// (user defers on this process's stack still run).
 func (p *Proc) park() {
 	p.state = stateParked
 	p.eng.control <- ctrl{p: p}
 	<-p.wake
 	p.pending = nil
 	p.state = stateRunning
+	if p.eng.trapped {
+		panic(abortSignal{})
+	}
 }
 
 // WaitUntil parks until virtual time t (or an early Wake). It returns

@@ -1,0 +1,156 @@
+package hermes
+
+import (
+	"fmt"
+
+	"hermes/internal/cpu"
+)
+
+// settings accumulates option values before validation.
+type settings struct {
+	cfg     Config
+	backend Backend
+}
+
+// Option configures a Runtime under construction. Options that can
+// fail return their error from New; everything else is validated
+// together by Config.Validate before the backend starts.
+type Option func(*settings) error
+
+// WithBackend selects the execution engine: Sim (default, the
+// deterministic discrete-event simulator) or Native (real goroutine
+// workers).
+func WithBackend(b Backend) Option {
+	return func(s *settings) error {
+		if b != Sim && b != Native {
+			return fmt.Errorf("hermes: unknown backend %d", b)
+		}
+		s.backend = b
+		return nil
+	}
+}
+
+// WithSpec selects the machine model (SystemA, SystemB, or a custom
+// *cpu.Spec). Default: SystemA.
+func WithSpec(spec *cpu.Spec) Option {
+	return func(s *settings) error {
+		if spec == nil {
+			return fmt.Errorf("hermes: nil machine spec")
+		}
+		s.cfg.Spec = spec
+		return nil
+	}
+}
+
+// WithWorkers sets the worker count; each worker is pinned to a core
+// on a distinct clock domain, so n must not exceed the machine's
+// domain count. Default: one worker per clock domain on the Sim
+// backend, min(GOMAXPROCS, domains) on Native.
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("hermes: worker count must be positive, got %d", n)
+		}
+		s.cfg.Workers = n
+		return nil
+	}
+}
+
+// WithMode selects the tempo-control strategy (Baseline,
+// WorkpathOnly, WorkloadOnly or Unified). Default: Baseline.
+func WithMode(m Mode) Option {
+	return func(s *settings) error {
+		if m > Unified {
+			return fmt.Errorf("hermes: invalid mode %d", m)
+		}
+		s.cfg.Mode = m
+		return nil
+	}
+}
+
+// WithScheduling selects the worker-core mapping policy (Static or
+// Dynamic). Default: Static.
+func WithScheduling(p Scheduling) Option {
+	return func(s *settings) error {
+		if p > Dynamic {
+			return fmt.Errorf("hermes: invalid scheduling policy %d", p)
+		}
+		s.cfg.Scheduling = p
+		return nil
+	}
+}
+
+// WithFreqs sets the N-frequency tempo set, fastest first. The
+// fastest must be the machine's maximum frequency and every entry
+// must be a supported operating point. Default: the paper's
+// 2-frequency pair for the system.
+func WithFreqs(fastestFirst ...Freq) Option {
+	return func(s *settings) error {
+		if len(fastestFirst) == 0 {
+			return fmt.Errorf("hermes: WithFreqs needs at least one frequency")
+		}
+		s.cfg.Freqs = append([]Freq(nil), fastestFirst...)
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving every random choice (victim
+// selection). On the Sim backend, identical configs and seeds produce
+// bit-identical per-job reports.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithThresholds sets K, the number of workload thresholds (and so
+// K+1 workload tiers). Default: 2.
+func WithThresholds(k int) Option {
+	return func(s *settings) error {
+		if k < 1 {
+			return fmt.Errorf("hermes: threshold count must be positive, got %d", k)
+		}
+		s.cfg.K = k
+		return nil
+	}
+}
+
+// WithProfile sets the online-profiling sampling period for deque
+// sizes and how many periods the rolling average spans. Defaults:
+// 500µs, 16.
+func WithProfile(period Time, window int) Option {
+	return func(s *settings) error {
+		if period <= 0 {
+			return fmt.Errorf("hermes: profile period must be positive, got %v", period)
+		}
+		if window < 1 {
+			return fmt.Errorf("hermes: profile window must be positive, got %d", window)
+		}
+		s.cfg.ProfilePeriod = period
+		s.cfg.ProfileWindow = window
+		return nil
+	}
+}
+
+// WithObserver streams scheduler events (steals, tempo switches, DVFS
+// commits, energy samples, job lifecycle) to o. Observation cannot
+// influence scheduling; on the Native backend o must be
+// concurrency-safe.
+func WithObserver(o Observer) Option {
+	return func(s *settings) error {
+		s.cfg.Observer = o
+		return nil
+	}
+}
+
+// WithConfig replaces the entire base configuration — the escape
+// hatch for callers migrating from the Config-struct API or setting
+// fields no dedicated option covers (overheads, MaxTempoLevels, …).
+// Later options still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) error {
+		s.cfg = cfg
+		return nil
+	}
+}

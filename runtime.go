@@ -1,0 +1,302 @@
+package hermes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hermes/internal/core"
+	"hermes/internal/job"
+	"hermes/internal/obs"
+	"hermes/internal/rt"
+)
+
+// Backend selects the execution engine behind a Runtime.
+type Backend uint8
+
+const (
+	// Sim is the deterministic discrete-event simulator
+	// (internal/core): virtual time, modeled DVFS latency, calibrated
+	// power model and 100 Hz meter. Jobs run one at a time in
+	// submission order so every report stays reproducible — the
+	// measurement instrument.
+	Sim Backend = iota
+	// Native is the real-concurrency executor (internal/rt): actual
+	// goroutine workers multiplex every submitted job over one shared
+	// work-stealing pool, with tempo throttling applied in wall-clock
+	// time and energy accounted by the same power model.
+	Native
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Sim:
+		return "sim"
+	case Native:
+		return "native"
+	}
+	return "invalid"
+}
+
+// Job is the handle for one submitted root task: Wait blocks for the
+// per-job Report, Done supports select-based completion.
+type Job = job.Job
+
+// Observer receives streamed scheduler events (steals, tempo
+// switches, DVFS commits, energy samples, job lifecycle). On the
+// Native backend it is called from many goroutines at once and must
+// be concurrency-safe.
+type Observer = obs.Observer
+
+// Event is one scheduler occurrence delivered to an Observer.
+type Event = obs.Event
+
+// EventKind discriminates Events.
+type EventKind = obs.Kind
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc = obs.Func
+
+// Observer event kinds.
+const (
+	EventSteal        = obs.Steal
+	EventTempoSwitch  = obs.TempoSwitch
+	EventDVFSCommit   = obs.DVFSCommit
+	EventEnergySample = obs.EnergySample
+	EventJobStart     = obs.JobStart
+	EventJobDone      = obs.JobDone
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("hermes: runtime closed")
+
+// ErrNilTask is returned by Submit for a nil root task.
+var ErrNilTask = errors.New("hermes: nil root task")
+
+// Executor is the backend contract behind a Runtime: both the
+// discrete-event simulator and the real-concurrency pool serve
+// submitted jobs through it.
+type Executor interface {
+	// Submit enqueues root as a new job and returns its handle. The
+	// job observes ctx: cancellation stops task execution at spawn and
+	// steal boundaries and completes the job with ctx's error.
+	Submit(ctx context.Context, root Task) (*Job, error)
+	// Close rejects further submissions, waits for submitted jobs to
+	// complete, and releases the backend's resources.
+	Close() error
+}
+
+// Runtime is a persistent scheduler serving a stream of jobs over one
+// configuration. Construct with New, submit with Submit (or the Run
+// method for submit-and-wait), and release with Close. All methods
+// are safe for concurrent use.
+type Runtime struct {
+	cfg     Config
+	backend Backend
+	exec    Executor
+}
+
+// New builds a Runtime from functional options. The zero option set
+// selects the simulator backend on System A with one worker per clock
+// domain, baseline mode — the same defaults as the package-level Run.
+// Invalid configurations return errors (never panics).
+func New(opts ...Option) (*Runtime, error) {
+	var s settings
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	cfg, err := s.cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{cfg: cfg, backend: s.backend}
+	switch s.backend {
+	case Sim:
+		r.exec = newSimExec(cfg)
+	case Native:
+		// Hand the backend the pre-validation config: an unset worker
+		// count defaults to one per clock domain on the simulator but
+		// to min(GOMAXPROCS, domains) on real goroutine workers.
+		ex, err := rt.NewExec(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.cfg = ex.Config()
+		r.exec = ex
+	default:
+		return nil, fmt.Errorf("hermes: unknown backend %d", s.backend)
+	}
+	return r, nil
+}
+
+// Config returns the validated configuration the Runtime runs with
+// (defaults filled in).
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Backend returns the execution engine the Runtime was built with.
+func (r *Runtime) Backend() Backend { return r.backend }
+
+// Submit enqueues root as a new job and returns its handle; Job.Wait
+// returns the per-job Report. On the Native backend concurrent jobs
+// multiplex over the shared worker pool (a saturated intake queue
+// blocks Submit until space frees or ctx fires — backpressure); on
+// the Sim backend they run deterministically in submission order.
+// Cancelling ctx stops the job's task execution at spawn and steal
+// boundaries and completes it with ctx's error; a job whose work
+// completed before cancellation took effect reports success.
+func (r *Runtime) Submit(ctx context.Context, root Task) (*Job, error) {
+	j, err := r.exec.Submit(ctx, root)
+	switch {
+	case errors.Is(err, rt.ErrClosed):
+		err = ErrClosed
+	case errors.Is(err, rt.ErrNilTask):
+		err = ErrNilTask
+	}
+	return j, err
+}
+
+// Run submits root and waits for its report: the submit-and-wait
+// convenience for callers that want one job at a time.
+func (r *Runtime) Run(ctx context.Context, root Task) (Report, error) {
+	j, err := r.Submit(ctx, root)
+	if err != nil {
+		return Report{}, err
+	}
+	return j.Wait()
+}
+
+// Close rejects further submissions, waits for every submitted job to
+// complete, then shuts the backend down. Safe to call more than once.
+func (r *Runtime) Close() error { return r.exec.Close() }
+
+// --- simulator backend ----------------------------------------------
+
+// simExec serves jobs through the discrete-event simulator. Jobs run
+// strictly one at a time in submission order: the simulator is the
+// measurement instrument, and serializing jobs keeps every report
+// deterministic for a fixed config and seed regardless of how
+// submissions interleave.
+type simExec struct {
+	cfg core.Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*simJob
+	closed bool
+	nextID int64
+	wg     sync.WaitGroup
+}
+
+type simJob struct {
+	ctx  context.Context
+	root Task
+	j    *Job
+}
+
+func newSimExec(cfg core.Config) *simExec {
+	e := &simExec{cfg: cfg}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.runLoop()
+	return e
+}
+
+func (e *simExec) Submit(ctx context.Context, root Task) (*Job, error) {
+	if root == nil {
+		return nil, ErrNilTask
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.nextID++
+	sj := &simJob{ctx: ctx, root: root, j: job.New(e.nextID)}
+	e.queue = append(e.queue, sj)
+	e.cond.Signal()
+	return sj.j, nil
+}
+
+func (e *simExec) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// runLoop drains the queue FIFO; Close lets already-submitted jobs
+// finish before the loop exits.
+func (e *simExec) runLoop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		sj := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		e.runJob(sj)
+	}
+}
+
+func (e *simExec) runJob(sj *simJob) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Keep the observer's JobStart/JobDone framing intact even
+			// when the job dies by panic.
+			e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1})
+			sj.j.Finish(core.Report{}, fmt.Errorf("hermes: job %d panicked: %v", sj.j.ID(), p))
+		}
+	}()
+	e.emit(obs.Event{Kind: obs.JobStart, Job: sj.j.ID(), Worker: -1, Victim: -1})
+	if err := sj.ctx.Err(); err != nil {
+		e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1})
+		sj.j.Finish(core.Report{}, err)
+		return
+	}
+	cfg := e.cfg
+	// Track whether cancellation actually interrupted the run: every
+	// poll returning true skips work, so a job that finishes without a
+	// positive poll completed fully and reports success even if its
+	// context expires at the finish line.
+	interrupted := false
+	cfg.Cancelled = func() bool {
+		if sj.ctx.Err() != nil {
+			interrupted = true
+			return true
+		}
+		return false
+	}
+	rep := core.Run(cfg, sj.root)
+	e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1,
+		Time: rep.Span, Energy: rep.EnergyJ})
+	var err error
+	if interrupted {
+		err = sj.ctx.Err()
+	}
+	sj.j.Finish(rep, err)
+}
+
+func (e *simExec) emit(ev obs.Event) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.Observe(ev)
+	}
+}

@@ -1,0 +1,428 @@
+package hermes_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes"
+)
+
+// leafWorkload returns a root task touching n elements plus an atomic
+// counter recording how many leaves actually executed.
+func leafWorkload(n int) (hermes.Task, *atomic.Int64) {
+	var ran atomic.Int64
+	return func(c hermes.Ctx) {
+		hermes.For(c, 0, n, 4, func(c hermes.Ctx, lo, hi int) {
+			ran.Add(int64(hi - lo))
+			c.WorkMix(hermes.Cycles(300_000*(hi-lo)), 0.5)
+		})
+	}, &ran
+}
+
+// TestBothBackendsOneAPI drives the same workload through the one
+// Runtime API on both backends and gets a unified Report from each.
+func TestBothBackendsOneAPI(t *testing.T) {
+	for _, backend := range []hermes.Backend{hermes.Sim, hermes.Native} {
+		rt, err := hermes.New(
+			hermes.WithBackend(backend),
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithWorkers(4),
+			hermes.WithMode(hermes.Unified),
+			hermes.WithSeed(42),
+		)
+		if err != nil {
+			t.Fatalf("%v: New: %v", backend, err)
+		}
+		if rt.Backend() != backend {
+			t.Fatalf("Backend() = %v, want %v", rt.Backend(), backend)
+		}
+		root, ran := leafWorkload(128)
+		r, err := rt.Run(context.Background(), root)
+		if err != nil {
+			t.Fatalf("%v: Run: %v", backend, err)
+		}
+		if got := ran.Load(); got != 128 {
+			t.Fatalf("%v: %d/128 leaves ran", backend, got)
+		}
+		if r.System != "SystemB" || r.Workers != 4 || r.Mode != hermes.Unified {
+			t.Fatalf("%v: report header wrong: %+v", backend, r)
+		}
+		if r.Span <= 0 || r.EnergyJ <= 0 || r.Tasks == 0 {
+			t.Fatalf("%v: degenerate report: span=%v energy=%v tasks=%d",
+				backend, r.Span, r.EnergyJ, r.Tasks)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("%v: Close: %v", backend, err)
+		}
+	}
+}
+
+// TestConcurrentSubmitsNative submits several jobs from separate
+// goroutines to one Native Runtime and checks each completes with a
+// correct per-job report (run under -race in CI).
+func TestConcurrentSubmitsNative(t *testing.T) {
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(4),
+		hermes.WithMode(hermes.Unified),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const jobs = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	ids := make(chan int64, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root, ran := leafWorkload(64)
+			j, err := rt.Submit(context.Background(), root)
+			if err != nil {
+				errs <- err
+				return
+			}
+			r, err := j.Wait()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := ran.Load(); got != 64 {
+				errs <- fmt.Errorf("job ran %d/64 leaves", got)
+				return
+			}
+			if r.Tasks == 0 || r.Span <= 0 {
+				errs <- fmt.Errorf("degenerate job report: tasks=%d span=%v", r.Tasks, r.Span)
+				return
+			}
+			ids <- j.ID()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(ids)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate job id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != jobs {
+		t.Fatalf("%d/%d jobs completed", len(seen), jobs)
+	}
+}
+
+// TestConcurrentSubmitsSimDeterministic submits identical jobs
+// concurrently to one Sim Runtime: they serialize in submission order
+// and every one must produce the bit-identical deterministic report.
+func TestConcurrentSubmitsSimDeterministic(t *testing.T) {
+	rt, err := hermes.New(
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(4),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	reports := make([]hermes.Report, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root, _ := leafWorkload(128)
+			r, err := rt.Run(context.Background(), root)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = r
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < jobs; i++ {
+		if reports[i].Span != reports[0].Span ||
+			reports[i].EnergyJ != reports[0].EnergyJ ||
+			reports[i].Steals != reports[0].Steals {
+			t.Fatalf("sim job %d diverged from job 0:\n%v\nvs\n%v", i, reports[i], reports[0])
+		}
+	}
+}
+
+// TestCancellationSim cancels a simulator job from inside its own
+// workload; the run must stop forking at spawn boundaries and the job
+// must complete with the context's error.
+func TestCancellationSim(t *testing.T) {
+	rt, err := hermes.New(hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	j, err := rt.Submit(ctx, func(c hermes.Ctx) {
+		hermes.For(c, 0, 4096, 1, func(c hermes.Ctx, lo, hi int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			c.Work(100_000)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 4096 {
+		t.Fatalf("cancellation did not stop the job (ran %d leaves)", n)
+	}
+}
+
+// TestCancellationNative cancels a running Native job from outside.
+func TestCancellationNative(t *testing.T) {
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	var ran atomic.Int64
+	j, err := rt.Submit(ctx, func(c hermes.Ctx) {
+		hermes.For(c, 0, 100_000, 1, func(c hermes.Ctx, lo, hi int) {
+			ran.Add(1)
+			once.Do(func() { close(started) })
+			c.Mem(300 * hermes.Microsecond)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled native job did not drain")
+	}
+	if _, err := j.Wait(); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100_000 {
+		t.Fatalf("cancellation did not stop the job (ran %d leaves)", n)
+	}
+}
+
+// TestOptionAndConfigErrors checks that every former configuration
+// panic surfaces as an error through the option API.
+func TestOptionAndConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []hermes.Option
+		want string
+	}{
+		{"too many workers", []hermes.Option{
+			hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(99),
+		}, "workers not supported"},
+		{"zero workers", []hermes.Option{hermes.WithWorkers(0)}, "must be positive"},
+		{"nil spec", []hermes.Option{hermes.WithSpec(nil)}, "nil machine spec"},
+		{"unknown backend", []hermes.Option{hermes.WithBackend(hermes.Backend(9))}, "unknown backend"},
+		{"invalid mode", []hermes.Option{hermes.WithMode(hermes.Mode(9))}, "invalid mode"},
+		{"invalid scheduling", []hermes.Option{hermes.WithScheduling(hermes.Scheduling(9))}, "invalid scheduling"},
+		{"unsupported frequency", []hermes.Option{
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithFreqs(3_600_000*hermes.KHz, 123*hermes.KHz),
+		}, "does not support"},
+		{"ascending frequencies", []hermes.Option{
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithFreqs(3_600_000*hermes.KHz, 2_700_000*hermes.KHz, 3_300_000*hermes.KHz),
+		}, "strictly descending"},
+		{"fastest not max", []hermes.Option{
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithFreqs(2_700_000 * hermes.KHz),
+		}, "maximum frequency"},
+		{"tempo needs two freqs", []hermes.Option{
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithMode(hermes.Unified),
+			hermes.WithFreqs(3_600_000 * hermes.KHz),
+		}, "at least two frequencies"},
+		{"empty freqs option", []hermes.Option{hermes.WithFreqs()}, "at least one frequency"},
+		{"zero thresholds", []hermes.Option{hermes.WithThresholds(0)}, "must be positive"},
+		{"bad profile", []hermes.Option{hermes.WithProfile(0, 0)}, "must be positive"},
+		{"small MaxTempoLevels", []hermes.Option{
+			hermes.WithConfig(hermes.Config{MaxTempoLevels: 1}),
+		}, "MaxTempoLevels"},
+		{"negative ProfilePeriod via WithConfig", []hermes.Option{
+			hermes.WithConfig(hermes.Config{ProfilePeriod: -1}),
+			hermes.WithBackend(hermes.Native),
+		}, "ProfilePeriod"},
+		{"negative StealCost via WithConfig", []hermes.Option{
+			hermes.WithConfig(hermes.Config{StealCost: -1}),
+		}, "StealCost"},
+	}
+	for _, tc := range cases {
+		rt, err := hermes.New(tc.opts...)
+		if err == nil {
+			rt.Close()
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSubmitErrors covers the boundary errors of a live Runtime.
+func TestSubmitErrors(t *testing.T) {
+	for _, backend := range []hermes.Backend{hermes.Sim, hermes.Native} {
+		rt, err := hermes.New(hermes.WithBackend(backend), hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Submit(context.Background(), nil); err != hermes.ErrNilTask {
+			t.Fatalf("%v: nil task err = %v", backend, err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Submit(context.Background(), func(hermes.Ctx) {}); err != hermes.ErrClosed {
+			t.Fatalf("%v: submit-after-close err = %v", backend, err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("%v: double close: %v", backend, err)
+		}
+	}
+}
+
+// TestObserverStream checks the Observer hook delivers scheduler
+// events on the simulator backend: job lifecycle, steals, tempo
+// switches and energy samples for a Unified run.
+func TestObserverStream(t *testing.T) {
+	counts := map[hermes.EventKind]int{}
+	var mu sync.Mutex
+	rt, err := hermes.New(
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(4),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithSeed(3),
+		hermes.WithObserver(hermes.ObserverFunc(func(e hermes.Event) {
+			mu.Lock()
+			counts[e.Kind]++
+			mu.Unlock()
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := leafWorkload(512)
+	r, err := rt.Run(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[hermes.EventJobStart] != 1 || counts[hermes.EventJobDone] != 1 {
+		t.Fatalf("job lifecycle events: %+v", counts)
+	}
+	if int64(counts[hermes.EventSteal]) != r.Steals {
+		t.Fatalf("observed %d steals, report says %d", counts[hermes.EventSteal], r.Steals)
+	}
+	if int64(counts[hermes.EventTempoSwitch]) != r.TempoSwitches {
+		t.Fatalf("observed %d tempo switches, report says %d", counts[hermes.EventTempoSwitch], r.TempoSwitches)
+	}
+	if len(r.Samples) > 0 && counts[hermes.EventEnergySample] == 0 {
+		t.Fatalf("no energy samples observed (report has %d)", len(r.Samples))
+	}
+}
+
+// TestTaskPanicSimBackend pins the panic contract on the simulator: a
+// panicking task body fails its own job (error from Wait) without
+// crashing the process, matching the Native backend.
+func TestTaskPanicSimBackend(t *testing.T) {
+	rt, err := hermes.New(hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	_, perr := rt.Run(context.Background(), func(c hermes.Ctx) {
+		c.Go(
+			func(hermes.Ctx) { panic("boom") },
+			func(c hermes.Ctx) { c.Work(1_000_000) },
+		)
+	})
+	if perr == nil || !strings.Contains(perr.Error(), "panicked") {
+		t.Fatalf("sim panicking job err = %v", perr)
+	}
+	// The runtime must still serve jobs afterwards.
+	root, ran := leafWorkload(32)
+	if _, err := rt.Run(context.Background(), root); err != nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("job after panic ran %d/32 leaves", ran.Load())
+	}
+}
+
+// TestLateCancelReportsSuccess: a context cancelled only after the
+// job's work completed must not turn a successful report into an
+// error.
+func TestLateCancelReportsSuccess(t *testing.T) {
+	for _, backend := range []hermes.Backend{hermes.Sim, hermes.Native} {
+		rt, err := hermes.New(hermes.WithBackend(backend), hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j, err := rt.Submit(ctx, func(c hermes.Ctx) { c.Work(1_000_000) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, werr := j.Wait(); werr != nil {
+			t.Fatalf("%v: job failed: %v", backend, werr)
+		}
+		cancel() // after completion: result must be unaffected
+		if _, werr := j.Wait(); werr != nil {
+			t.Fatalf("%v: late cancel changed result: %v", backend, werr)
+		}
+		rt.Close()
+	}
+}
+
+// TestRunWrapperCompat pins the legacy one-shot API: existing
+// hermes.Run call sites keep compiling and running unchanged.
+func TestRunWrapperCompat(t *testing.T) {
+	r := hermes.Run(hermes.Config{Spec: hermes.SystemB(), Workers: 2, Seed: 1},
+		func(c hermes.Ctx) { c.Work(1_000_000) })
+	if r.Span <= 0 || r.EnergyJ <= 0 {
+		t.Fatalf("legacy Run degenerate report: %+v", r)
+	}
+}
