@@ -1,0 +1,397 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes"
+	"hermes/internal/metrics"
+	"hermes/internal/synth"
+)
+
+// loadOpts parameterizes one open-loop load-generation run.
+type loadOpts struct {
+	// URL targets a running hermes-serve instance; empty runs against
+	// an in-process Runtime instead.
+	URL      string
+	RPS      float64
+	Duration time.Duration
+	Spec     synth.Spec
+	Seed     int64
+
+	// In-process runtime shape (ignored when URL is set).
+	Backend string
+	Mode    string
+	Workers int
+	Buffer  int
+
+	JSONPath string
+	Verbose  bool
+}
+
+// loadSummary is the run's JSON result — the artifact CI records for
+// the perf trajectory.
+type loadSummary struct {
+	Target           string     `json:"target"`
+	Workload         synth.Spec `json:"workload"`
+	RPSTarget        float64    `json:"rps_target"`
+	DurationS        float64    `json:"duration_s"`
+	Submitted        int64      `json:"submitted"`
+	Completed        int64      `json:"completed"`
+	Rejected         int64      `json:"rejected"`
+	Errors           int64      `json:"errors"`
+	ThroughputRPS    float64    `json:"throughput_rps"`
+	P50SojournMS     float64    `json:"p50_sojourn_ms"`
+	P95SojournMS     float64    `json:"p95_sojourn_ms"`
+	P99SojournMS     float64    `json:"p99_sojourn_ms"`
+	MaxSojournMS     float64    `json:"max_sojourn_ms"`
+	PeakInflight     int64      `json:"peak_inflight"`
+	JoulesPerRequest float64    `json:"joules_per_request"`
+	DroppedEvents    uint64     `json:"dropped_events"`
+}
+
+func (s loadSummary) String() string {
+	return fmt.Sprintf(
+		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d rejected=%d errors=%d\n"+
+			"  throughput=%.1f req/s sojourn p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n"+
+			"  peak-inflight=%d joules/req=%.4f dropped-events=%d",
+		s.Target, s.Workload, s.RPSTarget, s.DurationS, s.Submitted, s.Completed, s.Rejected, s.Errors,
+		s.ThroughputRPS, s.P50SojournMS, s.P95SojournMS, s.P99SojournMS, s.MaxSojournMS,
+		s.PeakInflight, s.JoulesPerRequest, s.DroppedEvents)
+}
+
+// target abstracts where requests go: a remote hermes-serve or an
+// in-process Runtime. do blocks from arrival to completion and
+// returns the request's attributed joules where the target knows it
+// per job (in-process), else 0 with energy recovered from metrics.
+type target interface {
+	// do returns (rejected, err).
+	do(spec synth.Spec) (bool, error)
+	// finish returns (joules attributed to completed requests, dropped events).
+	finish() (float64, uint64, error)
+	name() string
+}
+
+// runLoad drives an open-loop Poisson arrival process at opts.RPS for
+// opts.Duration: arrivals are scheduled independently of completions
+// (sojourn time includes queueing delay, the open-system metric), and
+// every request is tracked to completion even past the arrival window.
+func runLoad(opts loadOpts) (loadSummary, error) {
+	if opts.RPS <= 0 {
+		return loadSummary{}, fmt.Errorf("load: rps must be positive, got %g", opts.RPS)
+	}
+	if opts.Duration <= 0 {
+		return loadSummary{}, fmt.Errorf("load: duration must be positive, got %v", opts.Duration)
+	}
+	spec, err := opts.Spec.Validate()
+	if err != nil {
+		return loadSummary{}, err
+	}
+	opts.Spec = spec
+
+	var tgt target
+	if opts.URL != "" {
+		tgt = &httpTarget{base: opts.URL, client: &http.Client{Timeout: 30 * time.Second}}
+	} else {
+		t, err := newInprocTarget(opts)
+		if err != nil {
+			return loadSummary{}, err
+		}
+		tgt = t
+	}
+
+	var (
+		wg                  sync.WaitGroup
+		mu                  sync.Mutex
+		sojourns            []time.Duration
+		submitted, rejected atomic.Int64
+		errs                atomic.Int64
+		inflight, peak      atomic.Int64
+	)
+	rng := rand.New(rand.NewPCG(uint64(opts.Seed), 0x9e3779b97f4a7c15))
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	next := start
+	for {
+		// Exponential interarrival: a Poisson process at RPS.
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.RPS * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		submitted.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if n := inflight.Add(1); n > peak.Load() {
+				peak.Store(n) // racy max: diagnostics, not accounting
+			}
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			rej, err := tgt.do(opts.Spec)
+			switch {
+			case rej:
+				rejected.Add(1)
+			case err != nil:
+				errs.Add(1)
+				if opts.Verbose {
+					fmt.Fprintf(os.Stderr, "load: request error: %v\n", err)
+				}
+			default:
+				d := time.Since(t0)
+				mu.Lock()
+				sojourns = append(sojourns, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	joules, dropped, err := tgt.finish()
+	if err != nil {
+		return loadSummary{}, err
+	}
+
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	completed := int64(len(sojourns))
+	sum := loadSummary{
+		Target:        tgt.name(),
+		Workload:      opts.Spec,
+		RPSTarget:     opts.RPS,
+		DurationS:     elapsed.Seconds(),
+		Submitted:     submitted.Load(),
+		Completed:     completed,
+		Rejected:      rejected.Load(),
+		Errors:        errs.Load(),
+		ThroughputRPS: float64(completed) / elapsed.Seconds(),
+		P50SojournMS:  percentileMS(sojourns, 0.50),
+		P95SojournMS:  percentileMS(sojourns, 0.95),
+		P99SojournMS:  percentileMS(sojourns, 0.99),
+		MaxSojournMS:  percentileMS(sojourns, 1),
+		PeakInflight:  peak.Load(),
+		DroppedEvents: dropped,
+	}
+	if completed > 0 {
+		sum.JoulesPerRequest = joules / float64(completed)
+	}
+	return sum, nil
+}
+
+// percentileMS returns the p-quantile (0..1) of sorted durations in
+// milliseconds, by the nearest-rank method.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1e3
+}
+
+// --- in-process target ------------------------------------------------
+
+// inprocTarget submits straight into a Runtime built for this run,
+// with the same async-observer/metrics pipeline hermes-serve deploys.
+type inprocTarget struct {
+	rt   *hermes.Runtime
+	reg  *metrics.Registry
+	mu   sync.Mutex
+	sumJ float64
+}
+
+func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
+	be := hermes.Native
+	if opts.Backend == "sim" {
+		be = hermes.Sim
+	}
+	mode := hermes.Unified
+	switch opts.Mode {
+	case "baseline":
+		mode = hermes.Baseline
+	case "workpath":
+		mode = hermes.WorkpathOnly
+	case "workload":
+		mode = hermes.WorkloadOnly
+	}
+	reg := metrics.New()
+	hopts := []hermes.Option{
+		hermes.WithBackend(be),
+		hermes.WithMode(mode),
+		hermes.WithAsyncObserver(reg, opts.Buffer),
+	}
+	if opts.Workers > 0 {
+		hopts = append(hopts, hermes.WithWorkers(opts.Workers))
+	}
+	rt, err := hermes.New(hopts...)
+	if err != nil {
+		return nil, err
+	}
+	reg.SetDropSource(rt.EventsDropped)
+	return &inprocTarget{rt: rt, reg: reg}, nil
+}
+
+func (t *inprocTarget) name() string { return "in-process/" + t.rt.Backend().String() }
+
+func (t *inprocTarget) do(spec synth.Spec) (bool, error) {
+	task, _, err := spec.Task()
+	if err != nil {
+		return false, err
+	}
+	rep, err := t.rt.Run(context.Background(), task)
+	if err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	t.sumJ += rep.EnergyJ
+	t.mu.Unlock()
+	return false, nil
+}
+
+func (t *inprocTarget) finish() (float64, uint64, error) {
+	err := t.rt.Close()
+	t.mu.Lock()
+	j := t.sumJ
+	t.mu.Unlock()
+	return j, t.rt.EventsDropped(), err
+}
+
+// --- HTTP target ------------------------------------------------------
+
+// httpTarget drives a remote hermes-serve: POST the job, poll its
+// status to completion, and recover energy per request from the
+// /metrics delta at the end of the run.
+type httpTarget struct {
+	base    string
+	client  *http.Client
+	baseJ   float64
+	baseSet bool
+	mu      sync.Mutex
+}
+
+func (t *httpTarget) name() string { return t.base }
+
+// jobEnergyTotal scrapes hermes_job_energy_joules_total.
+func (t *httpTarget) jobEnergyTotal() (float64, uint64, error) {
+	resp, err := t.client.Get(t.base + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals := metrics.ParseText(string(body))
+	return vals["hermes_job_energy_joules_total"], uint64(vals["hermes_observer_dropped_events_total"]), nil
+}
+
+// prime records the pre-run energy baseline on first use.
+func (t *httpTarget) prime() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.baseSet {
+		return nil
+	}
+	j, _, err := t.jobEnergyTotal()
+	if err != nil {
+		return err
+	}
+	t.baseJ, t.baseSet = j, true
+	return nil
+}
+
+func (t *httpTarget) do(spec synth.Spec) (bool, error) {
+	if err := t.prime(); err != nil {
+		return false, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false, err
+	}
+	resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return false, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+	}
+	var acc struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.Unmarshal(rb, &acc); err != nil {
+		return false, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := t.client.Get(fmt.Sprintf("%s/jobs/%d", t.base, acc.ID))
+		if err != nil {
+			return false, err
+		}
+		sb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(sb))
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(sb, &st); err != nil {
+			return false, err
+		}
+		switch st.Status {
+		case "done":
+			return false, nil
+		case "failed":
+			return false, fmt.Errorf("job %d failed: %s", acc.ID, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false, fmt.Errorf("job %d: poll timeout", acc.ID)
+}
+
+func (t *httpTarget) finish() (float64, uint64, error) {
+	j, dropped, err := t.jobEnergyTotal()
+	if err != nil {
+		return 0, 0, err
+	}
+	t.mu.Lock()
+	base := t.baseJ
+	t.mu.Unlock()
+	return j - base, dropped, nil
+}
+
+// writeSummary prints the summary and optionally writes it as JSON.
+func writeSummary(sum loadSummary, jsonPath string) error {
+	fmt.Println(sum.String())
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

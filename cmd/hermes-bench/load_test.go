@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/synth"
+)
+
+func TestPercentileMS(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := percentileMS(sorted, c.p); got != c.want {
+			t.Errorf("p%.0f = %gms, want %gms", c.p*100, got, c.want)
+		}
+	}
+	if got := percentileMS(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	if _, err := runLoad(loadOpts{RPS: 0, Duration: time.Second}); err == nil {
+		t.Error("rps=0 accepted")
+	}
+	if _, err := runLoad(loadOpts{RPS: 10, Duration: 0}); err == nil {
+		t.Error("duration=0 accepted")
+	}
+	if _, err := runLoad(loadOpts{RPS: 10, Duration: time.Second,
+		Spec: synth.Spec{Kind: "nope"}}); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+// TestInprocLoadShortRun drives the full open-loop pipeline against
+// an in-process runtime for one short burst and checks the summary is
+// self-consistent.
+func TestInprocLoadShortRun(t *testing.T) {
+	sum, err := runLoad(loadOpts{
+		RPS:      200,
+		Duration: 500 * time.Millisecond,
+		Spec:     synth.Spec{Kind: "ticks", N: 16, Work: 50_000},
+		Seed:     42,
+		Backend:  "native",
+		Mode:     "unified",
+		Workers:  4,
+		Buffer:   1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Submitted == 0 || sum.Completed != sum.Submitted {
+		t.Fatalf("lost requests: %+v", sum)
+	}
+	if sum.Errors != 0 || sum.Rejected != 0 {
+		t.Fatalf("unexpected failures: %+v", sum)
+	}
+	if sum.P50SojournMS <= 0 || sum.P99SojournMS < sum.P50SojournMS {
+		t.Fatalf("implausible sojourn percentiles: %+v", sum)
+	}
+	if sum.JoulesPerRequest <= 0 {
+		t.Fatalf("no energy attributed per request: %+v", sum)
+	}
+	if sum.DroppedEvents != 0 {
+		t.Fatalf("%d events dropped below buffer size", sum.DroppedEvents)
+	}
+}

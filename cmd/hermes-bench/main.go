@@ -1,11 +1,19 @@
-// hermes-bench regenerates the paper's evaluation figures.
+// hermes-bench regenerates the paper's evaluation figures, and doubles
+// as an open-loop load generator for the serving scenario.
 //
-// Usage:
+// Figure mode:
 //
 //	hermes-bench                 # all figures, paper-scale
 //	hermes-bench -fig 6          # one figure
 //	hermes-bench -quick          # CI-scale (smaller inputs, 2 trials)
 //	hermes-bench -csv out/       # also write CSV files
+//
+// Load mode (-load) fires Poisson arrivals at a target RPS — against
+// a hermes-serve endpoint (-url) or an in-process Runtime — and
+// reports throughput, p50/p95/p99 sojourn time and joules/request:
+//
+//	hermes-bench -load -rps 100 -duration 10s -workload ticks
+//	hermes-bench -load -rps 50 -duration 30s -url http://localhost:8080 -json load.json
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"time"
 
 	"hermes/internal/harness"
+	"hermes/internal/synth"
+	"hermes/internal/units"
 )
 
 func main() {
@@ -26,8 +36,51 @@ func main() {
 		scale   = flag.Float64("scale", 0, "override input-size scale factor")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
 		verbose = flag.Bool("v", false, "log each run")
+
+		load     = flag.Bool("load", false, "run the open-loop Poisson load generator instead of figures")
+		rps      = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "load: arrival window")
+		url      = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
+		workload = flag.String("workload", "ticks", "load: synthetic workload kind (fib, matmul, ticks)")
+		n        = flag.Int("n", 0, "load: workload size (0 = workload default)")
+		grain    = flag.Int("grain", 0, "load: task granularity (0 = workload default)")
+		work     = flag.Int64("work", 0, "load: cycles per unit (0 = workload default)")
+		memfrac  = flag.Float64("memfrac", 0, "load: memory-bound fraction of work")
+		backend  = flag.String("backend", "native", "load in-process: backend (native or sim)")
+		mode     = flag.String("mode", "unified", "load in-process: tempo mode")
+		workers  = flag.Int("workers", 0, "load in-process: worker count (0 = default)")
+		buffer   = flag.Int("buffer", 1<<16, "load in-process: async observer buffer size")
+		seed     = flag.Int64("seed", 1, "load: arrival-process seed")
+		jsonPath = flag.String("json", "", "load: write the JSON summary to this path")
 	)
 	flag.Parse()
+
+	if *load {
+		sum, err := runLoad(loadOpts{
+			URL:      *url,
+			RPS:      *rps,
+			Duration: *duration,
+			Spec: synth.Spec{
+				Kind: *workload, N: *n, Grain: *grain,
+				Work: units.Cycles(*work), MemFrac: *memfrac,
+			},
+			Seed:    *seed,
+			Backend: *backend,
+			Mode:    *mode,
+			Workers: *workers,
+			Buffer:  *buffer,
+			Verbose: *verbose,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeSummary(sum, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := harness.Full()
 	if *quick {

@@ -1,0 +1,163 @@
+// hermes-serve exposes a hermes.Runtime as an HTTP job-submission
+// service — the open-system serving scenario the ROADMAP's north star
+// names. Scheduler telemetry flows through a bounded asynchronous
+// observer into a Prometheus-text /metrics endpoint, so a slow
+// scraper can never stall the work-stealing hot path.
+//
+// Endpoints:
+//
+//	POST /jobs      submit a synthetic workload; 202 + job id, 429 over max in-flight
+//	GET  /jobs/{id} job status: running / done / failed, sojourn, report
+//	GET  /metrics   Prometheus text: steals, tempo switches, DVFS commits,
+//	                power/energy, job latency histogram, dropped events
+//	GET  /healthz   liveness + in-flight / drop counters
+//
+// Quickstart:
+//
+//	hermes-serve -addr :8080 -backend native -mode unified &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/jobs -d '{"workload":"fib","n":20}'
+//	curl -s localhost:8080/jobs/1
+//	curl -s localhost:8080/metrics | grep hermes_
+//
+// The async observer drops (and counts) events instead of blocking
+// when its buffer overflows; watch hermes_observer_dropped_events_total
+// and raise -buffer if it moves.
+//
+// -selftest boots the full server on a loopback port, drives it over
+// real HTTP (submit, poll to completion, scrape /metrics) and exits
+// nonzero on any failure — the CI smoke for the serving path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hermes"
+	"hermes/internal/metrics"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		backend     = flag.String("backend", "native", "execution backend: native or sim")
+		mode        = flag.String("mode", "unified", "tempo mode: baseline, workpath, workload or unified")
+		workers     = flag.Int("workers", 0, "worker count (0 = backend default)")
+		buffer      = flag.Int("buffer", 1<<16, "async observer event buffer size")
+		maxInflight = flag.Int("max-inflight", 1024, "max concurrently in-flight jobs before 429")
+		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout (0 = none)")
+		selftest    = flag.Bool("selftest", false, "boot on a loopback port, exercise the HTTP API, exit nonzero on failure")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*mode, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-serve selftest: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("hermes-serve selftest: OK")
+		return
+	}
+
+	srv, rt, err := buildServer(*backend, *mode, *workers, *buffer, *maxInflight, *jobTimeout)
+	if err != nil {
+		log.Fatalf("hermes-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hermes-serve: %v", err)
+	}
+	log.Printf("hermes-serve: listening on %s (backend=%s mode=%s workers=%d max-inflight=%d buffer=%d)",
+		ln.Addr(), rt.Backend(), rt.Config().Mode, rt.Config().Workers, *maxInflight, *buffer)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("hermes-serve: %v — draining", s)
+	case err := <-errCh:
+		log.Printf("hermes-serve: server error: %v", err)
+	}
+
+	// Shutdown order: stop accepting HTTP, let in-flight jobs finish
+	// via Runtime.Close (which then drains the async observer), report
+	// any telemetry loss.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("hermes-serve: http shutdown: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		log.Printf("hermes-serve: runtime close: %v", err)
+	}
+	if n := rt.EventsDropped(); n > 0 {
+		log.Printf("hermes-serve: %d observer events dropped (raise -buffer to capture all)", n)
+	}
+	log.Printf("hermes-serve: bye")
+}
+
+// buildServer assembles the observability pipeline and runtime behind
+// a server: Observer events -> bounded async sink -> metrics registry
+// -> /metrics.
+func buildServer(backend, mode string, workers, buffer, maxInflight int, jobTimeout time.Duration) (*server, *hermes.Runtime, error) {
+	be, err := parseBackend(backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := parseMode(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := metrics.New()
+	opts := []hermes.Option{
+		hermes.WithBackend(be),
+		hermes.WithMode(m),
+		hermes.WithAsyncObserver(reg, buffer),
+	}
+	if workers > 0 {
+		opts = append(opts, hermes.WithWorkers(workers))
+	}
+	rt, err := hermes.New(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg.SetDropSource(rt.EventsDropped)
+	return newServer(rt, reg, maxInflight, jobTimeout), rt, nil
+}
+
+func parseBackend(s string) (hermes.Backend, error) {
+	switch s {
+	case "native":
+		return hermes.Native, nil
+	case "sim":
+		return hermes.Sim, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want native or sim)", s)
+}
+
+func parseMode(s string) (hermes.Mode, error) {
+	switch s {
+	case "baseline":
+		return hermes.Baseline, nil
+	case "workpath":
+		return hermes.WorkpathOnly, nil
+	case "workload":
+		return hermes.WorkloadOnly, nil
+	case "unified", "hermes":
+		return hermes.Unified, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want baseline, workpath, workload or unified)", s)
+}

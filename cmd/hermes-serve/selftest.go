@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"hermes/internal/metrics"
+)
+
+// selftestSeries are the /metrics series the CI smoke requires to be
+// present after jobs have run — the steal/tempo/DVFS/energy/latency
+// observability surface the serving layer promises.
+var selftestSeries = []string{
+	"hermes_steals_total",
+	"hermes_tempo_switches_total",
+	"hermes_dvfs_commits_total",
+	"hermes_energy_joules",
+	"hermes_power_watts",
+	"hermes_job_energy_joules_total",
+	"hermes_job_latency_seconds_bucket",
+	"hermes_job_latency_seconds_count",
+	"hermes_jobs_completed_total",
+	"hermes_observer_dropped_events_total",
+}
+
+// runSelftest boots the full server on a loopback port and exercises
+// it the way a client would: health check, one job of each workload
+// kind submitted over HTTP, polled to completion, then a /metrics
+// scrape validated series-by-series.
+func runSelftest(mode string, workers int) error {
+	srv, rt, err := buildServer("native", mode, workers, 1<<16, 64, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("selftest: serving on %s\n", base)
+
+	if err := expectOK(base + "/healthz"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	specs := []string{
+		`{"workload":"fib","n":18}`,
+		`{"workload":"matmul","n":48}`,
+		`{"workload":"ticks","n":128}`,
+	}
+	var ids []int64
+	for _, spec := range specs {
+		id, err := submit(base, spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", spec, err)
+		}
+		fmt.Printf("selftest: submitted %s -> job %d\n", spec, id)
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := pollDone(base, id, 60*time.Second); err != nil {
+			return fmt.Errorf("job %d: %w", id, err)
+		}
+		fmt.Printf("selftest: job %d done\n", id)
+	}
+
+	// A rejected bad spec must 400, not enqueue garbage.
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(`{"workload":"nope"}`))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("bad workload: got HTTP %d, want 400", resp.StatusCode)
+	}
+
+	text, err := get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, series := range selftestSeries {
+		if !strings.Contains(text, series) {
+			return fmt.Errorf("metrics: series %s missing from scrape", series)
+		}
+	}
+	vals := metrics.ParseText(text)
+	if got := vals["hermes_jobs_completed_total"]; got < float64(len(ids)) {
+		return fmt.Errorf("metrics: hermes_jobs_completed_total = %g, want >= %d", got, len(ids))
+	}
+	if vals["hermes_job_energy_joules_total"] <= 0 {
+		return fmt.Errorf("metrics: no job energy accounted")
+	}
+	if vals["hermes_job_latency_seconds_count"] < float64(len(ids)) {
+		return fmt.Errorf("metrics: latency histogram did not observe all jobs")
+	}
+	if dropped := vals["hermes_observer_dropped_events_total"]; dropped != 0 {
+		return fmt.Errorf("metrics: %g observer events dropped below buffer size", dropped)
+	}
+	fmt.Printf("selftest: metrics OK (%d series checked, %g jobs completed, %.3f J attributed)\n",
+		len(selftestSeries), vals["hermes_jobs_completed_total"], vals["hermes_job_energy_joules_total"])
+	return nil
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return string(body), nil
+}
+
+func expectOK(url string) error {
+	_, err := get(url)
+	return err
+}
+
+func submit(base, spec string) (int64, error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var out struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+func pollDone(base string, id int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		body, err := get(fmt.Sprintf("%s/jobs/%d", base, id))
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			return err
+		}
+		switch st.Status {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job failed: %s", st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("not done after %v", timeout)
+}

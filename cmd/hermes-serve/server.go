@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes"
+	"hermes/internal/metrics"
+	"hermes/internal/synth"
+)
+
+// server exposes one hermes.Runtime as an HTTP job-submission
+// service: POST /jobs runs a parameterized synthetic workload, GET
+// /jobs/{id} reports its status, GET /metrics serves the Prometheus
+// fold of the runtime's observer stream, GET /healthz liveness.
+type server struct {
+	rt  *hermes.Runtime
+	reg *metrics.Registry
+
+	// inflight is the admission-control semaphore: a slot is held from
+	// accepted POST to job completion, and a full semaphore turns new
+	// submissions away with 429 instead of letting an open-loop client
+	// queue without bound.
+	inflight    chan struct{}
+	maxInflight int
+	peak        atomic.Int64 // high-water mark of concurrently in-flight jobs
+
+	jobTimeout time.Duration
+
+	mu   sync.Mutex
+	jobs map[int64]*jobRecord
+	// doneOrder lists completed job ids oldest-first; records beyond
+	// retainDone are pruned so a long-lived server's job index stays
+	// bounded (status queries for pruned jobs get 404).
+	doneOrder []int64
+	started   time.Time
+}
+
+// retainDone bounds how many completed job records stay queryable.
+const retainDone = 4096
+
+// jobRecord tracks one submitted job from HTTP accept to completion.
+type jobRecord struct {
+	spec      synth.Spec
+	submitted time.Time
+	j         *hermes.Job
+
+	mu       sync.Mutex
+	finished time.Time // zero while running
+}
+
+func (rec *jobRecord) finish(at time.Time) {
+	rec.mu.Lock()
+	rec.finished = at
+	rec.mu.Unlock()
+}
+
+func (rec *jobRecord) finishedAt() (time.Time, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.finished, !rec.finished.IsZero()
+}
+
+func newServer(rt *hermes.Runtime, reg *metrics.Registry, maxInflight int, jobTimeout time.Duration) *server {
+	if maxInflight < 1 {
+		maxInflight = 1024
+	}
+	return &server{
+		rt:          rt,
+		reg:         reg,
+		inflight:    make(chan struct{}, maxInflight),
+		maxInflight: maxInflight,
+		jobTimeout:  jobTimeout,
+		jobs:        make(map[int64]*jobRecord),
+		started:     time.Now(),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON renders v with the given status; encoding errors at this
+// point can only be I/O on a dead connection, so they are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec synth.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	task, spec, err := spec.Task()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission control: take an in-flight slot or refuse immediately.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"max in-flight jobs reached (%d); retry later", s.maxInflight)
+		return
+	}
+	if n := int64(len(s.inflight)); n > s.peak.Load() {
+		s.peak.Store(n) // racy high-water mark: good enough for ops visibility
+	}
+
+	// The job outlives this request; its lifetime is bounded by the
+	// optional server-side timeout, not by the client connection.
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if s.jobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
+	}
+	rec := &jobRecord{spec: spec, submitted: time.Now()}
+	j, err := s.rt.Submit(ctx, task)
+	if err != nil {
+		cancel()
+		<-s.inflight
+		writeError(w, http.StatusServiceUnavailable, "submit failed: %v", err)
+		return
+	}
+	rec.j = j
+	s.mu.Lock()
+	s.jobs[j.ID()] = rec
+	s.mu.Unlock()
+	go func() {
+		defer cancel()
+		<-j.Done()
+		rec.finish(time.Now())
+		<-s.inflight
+		s.pruneDone(j.ID())
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":       j.ID(),
+		"status":   "running",
+		"workload": spec,
+		"href":     fmt.Sprintf("/jobs/%d", j.ID()),
+	})
+}
+
+// jobStatusJSON is the GET /jobs/{id} response body.
+type jobStatusJSON struct {
+	ID        int64      `json:"id"`
+	Status    string     `json:"status"` // running | done | failed
+	Workload  synth.Spec `json:"workload"`
+	SojournMS float64    `json:"sojourn_ms,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Report    *reportOut `json:"report,omitempty"`
+}
+
+// reportOut is the wire shape of a completed job's hermes.Report.
+type reportOut struct {
+	SpanMS        float64 `json:"span_ms"`
+	EnergyJ       float64 `json:"energy_j"`
+	AvgPowerW     float64 `json:"avg_power_w"`
+	Tasks         int64   `json:"tasks"`
+	Spawns        int64   `json:"spawns"`
+	Steals        int64   `json:"steals"`
+	TempoSwitches int64   `json:"tempo_switches"`
+	DVFSCommits   int64   `json:"dvfs_commits"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no such job %d", id)
+		return
+	}
+	out := jobStatusJSON{ID: id, Status: "running", Workload: rec.spec}
+	if rep, jobErr, done := rec.j.Report(); done {
+		out.Status = "done"
+		if jobErr != nil {
+			out.Status = "failed"
+			out.Error = jobErr.Error()
+		}
+		// The completion goroutine records the finish timestamp just
+		// after the job future resolves; in the tiny window where the
+		// job is done but the record isn't stamped yet, "now" is the
+		// tightest honest bound.
+		at, ok := rec.finishedAt()
+		if !ok {
+			at = time.Now()
+		}
+		out.SojournMS = float64(at.Sub(rec.submitted).Microseconds()) / 1e3
+		out.Report = &reportOut{
+			SpanMS:        rep.Span.Seconds() * 1e3,
+			EnergyJ:       rep.EnergyJ,
+			AvgPowerW:     rep.AvgPowerW,
+			Tasks:         rep.Tasks,
+			Spawns:        rep.Spawns,
+			Steals:        rep.Steals,
+			TempoSwitches: rep.TempoSwitches,
+			DVFSCommits:   rep.DVFSCommits,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pruneDone appends id to the completion order and evicts the oldest
+// completed records beyond the retention window.
+func (s *server) pruneDone(id int64) {
+	s.mu.Lock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > retainDone {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_s":       time.Since(s.started).Seconds(),
+		"backend":        s.rt.Backend().String(),
+		"mode":           s.rt.Config().Mode.String(),
+		"workers":        s.rt.Config().Workers,
+		"inflight":       len(s.inflight),
+		"peak_inflight":  s.peak.Load(),
+		"max_inflight":   s.maxInflight,
+		"jobs_total":     total,
+		"dropped_events": s.rt.EventsDropped(),
+	})
+}

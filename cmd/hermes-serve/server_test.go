@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes/internal/metrics"
+)
+
+// newTestServer boots the full pipeline (runtime + async observer +
+// metrics + HTTP mux) behind an httptest server.
+func newTestServer(t *testing.T, maxInflight, buffer int) (*httptest.Server, *server) {
+	t.Helper()
+	srv, rt, err := buildServer("native", "unified", 4, buffer, maxInflight, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return ts, srv
+}
+
+func postJob(t *testing.T, base, spec string) (int64, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, resp.StatusCode
+	}
+	var out struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad accept body %q: %v", body, err)
+	}
+	return out.ID, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("bad body %q: %v", body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitDone(t *testing.T, base string, id int64, timeout time.Duration) jobStatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st jobStatusJSON
+		if code := getJSON(t, fmt.Sprintf("%s/jobs/%d", base, id), &st); code != http.StatusOK {
+			t.Fatalf("job %d: HTTP %d", id, code)
+		}
+		if st.Status != "running" {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %d not done after %v", id, timeout)
+	return jobStatusJSON{}
+}
+
+func TestSubmitPollReport(t *testing.T) {
+	ts, _ := newTestServer(t, 64, 1<<16)
+	id, code := postJob(t, ts.URL, `{"workload":"fib","n":16}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitDone(t, ts.URL, id, 30*time.Second)
+	if st.Status != "done" || st.Report == nil {
+		t.Fatalf("bad final status: %+v", st)
+	}
+	if st.Report.Tasks == 0 || st.Report.EnergyJ <= 0 || st.SojournMS <= 0 {
+		t.Fatalf("degenerate report: %+v", st.Report)
+	}
+	if st.Workload.Kind != "fib" || st.Workload.N != 16 {
+		t.Fatalf("spec not echoed: %+v", st.Workload)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 8, 1<<12)
+	for _, spec := range []string{
+		`{"workload":"nope"}`,
+		`{"workload":"fib","n":1000}`,
+		`{"workload":"ticks","memfrac":7}`,
+		`not json`,
+		`{"workload":"fib","bogus_field":1}`,
+	} {
+		if _, code := postJob(t, ts.URL, spec); code != http.StatusBadRequest {
+			t.Errorf("submit %s: HTTP %d, want 400", spec, code)
+		}
+	}
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/jobs/99999", &v); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/abc", &v); code != http.StatusBadRequest {
+		t.Errorf("bad job id: HTTP %d, want 400", code)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 1<<12)
+	// Two slow jobs fill the in-flight window...
+	long := `{"workload":"ticks","n":64,"grain":1,"work":20000000}`
+	for i := 0; i < 2; i++ {
+		if _, code := postJob(t, ts.URL, long); code != http.StatusAccepted {
+			t.Fatalf("job %d: HTTP %d", i, code)
+		}
+	}
+	// ...so the third must be refused, not queued.
+	if _, code := postJob(t, ts.URL, long); code != http.StatusTooManyRequests {
+		t.Fatalf("over-admission submit: HTTP %d, want 429", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 16, 1<<12)
+	var h struct {
+		OK          bool   `json:"ok"`
+		Backend     string `json:"backend"`
+		MaxInflight int    `json:"max_inflight"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if !h.OK || h.Backend != "native" || h.MaxInflight != 16 {
+		t.Fatalf("healthz fields wrong: %+v", h)
+	}
+}
+
+// TestSustains200InflightWithZeroEventLoss is the PR's acceptance
+// bar: the server holds >= 200 concurrently in-flight jobs, completes
+// them all, and the async observability pipeline (sized above the
+// event volume) loses nothing.
+func TestSustains200InflightWithZeroEventLoss(t *testing.T) {
+	const jobs = 250
+	ts, srv := newTestServer(t, 512, 1<<18)
+	// Each job is ~40ms of accounted work: slow enough that all 250
+	// are in flight together once submitted, fast enough to finish
+	// the run promptly.
+	spec := `{"workload":"ticks","n":32,"grain":4,"work":3000000}`
+
+	var wg sync.WaitGroup
+	ids := make([]int64, jobs)
+	var rejected atomic.Int64
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, code := postJob(t, ts.URL, spec)
+			switch code {
+			case http.StatusAccepted:
+				ids[i] = id
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				t.Errorf("job %d: HTTP %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := rejected.Load(); got != 0 {
+		t.Fatalf("%d of %d jobs rejected below the max-inflight limit", got, jobs)
+	}
+	for _, id := range ids {
+		if st := waitDone(t, ts.URL, id, 60*time.Second); st.Status != "done" {
+			t.Fatalf("job %d finished %q: %s", id, st.Status, st.Error)
+		}
+	}
+
+	if peak := srv.peak.Load(); peak < 200 {
+		t.Fatalf("peak in-flight %d, want >= 200 (did submissions serialize?)", peak)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	vals := metrics.ParseText(string(body))
+	if got := vals["hermes_jobs_completed_total"]; got < jobs {
+		t.Fatalf("metrics saw %g completed jobs, want >= %d", got, jobs)
+	}
+	if dropped := vals["hermes_observer_dropped_events_total"]; dropped != 0 {
+		t.Fatalf("%g events dropped below the configured buffer size", dropped)
+	}
+	if vals["hermes_job_latency_seconds_count"] < jobs {
+		t.Fatalf("latency histogram observed %g jobs, want >= %d",
+			vals["hermes_job_latency_seconds_count"], jobs)
+	}
+}
+
+func TestMetricsSeriesPresent(t *testing.T) {
+	ts, _ := newTestServer(t, 8, 1<<12)
+	id, _ := postJob(t, ts.URL, `{"workload":"matmul","n":24}`)
+	waitDone(t, ts.URL, id, 30*time.Second)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, series := range selftestSeries {
+		if !strings.Contains(text, series) {
+			t.Errorf("scrape missing series %s", series)
+		}
+	}
+}

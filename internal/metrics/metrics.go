@@ -1,0 +1,262 @@
+// Package metrics folds the runtime's Observer event stream into
+// Prometheus-text-format series — counters for scheduler activity
+// (steals, tempo switches, DVFS commits, job lifecycle), gauges for
+// instantaneous power and cumulative energy, and a histogram for job
+// latency — with no external dependencies. A Registry is an
+// obs.Observer, so it can sit directly behind an obs.Async sink and
+// be scraped over HTTP via Handler.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hermes/internal/obs"
+	"hermes/internal/units"
+)
+
+// maxTrackedJobs bounds the in-flight job-start table: entries whose
+// JobDone event was dropped (async-sink overflow) are swept once they
+// fall this many job ids behind, instead of leaking.
+const maxTrackedJobs = 8192
+
+// LatencyBuckets are the upper bounds (seconds) of the job-latency
+// histogram, exponential from 1 ms to 60 s; an implicit +Inf bucket
+// catches the rest.
+var LatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Snapshot is a consistent copy of every scalar series, for
+// programmatic readers (load generators, tests).
+type Snapshot struct {
+	Steals        int64
+	TempoSwitches int64
+	DVFSCommits   int64
+	JobsStarted   int64
+	JobsCompleted int64
+	JobsInflight  int64
+	EnergyJ       float64 // machine cumulative joules (last sample)
+	PowerW        float64 // instantaneous watts (last sample)
+	JobEnergyJ    float64 // sum of per-job joules over completed jobs
+	LatencySum    float64 // seconds, over completed jobs
+	LatencyCount  int64
+	DroppedEvents uint64
+}
+
+// Registry accumulates Observer events into scrapeable series. All
+// methods are safe for concurrent use; the expected deployment is a
+// single obs.Async consumer feeding it while HTTP scrapes read.
+type Registry struct {
+	mu            sync.Mutex
+	steals        int64
+	tempoSwitches int64
+	dvfsCommits   int64
+	jobsStarted   int64
+	jobsDone      int64
+	energyJ       float64
+	powerW        float64
+	jobEnergyJ    float64
+	jobStart      map[int64]units.Time // job id -> JobStart event time
+	latSum        float64
+	latCount      int64
+	latBuckets    []int64 // cumulative-at-scrape is computed; these are per-bucket
+
+	dropSource func() uint64 // optional: async sink's drop counter
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		jobStart:   make(map[int64]units.Time),
+		latBuckets: make([]int64, len(LatencyBuckets)+1),
+	}
+}
+
+// SetDropSource wires the registry to an event-drop counter (e.g.
+// (*obs.Async).Dropped) so scrapes expose telemetry loss alongside
+// the series it affects.
+func (r *Registry) SetDropSource(fn func() uint64) {
+	r.mu.Lock()
+	r.dropSource = fn
+	r.mu.Unlock()
+}
+
+// Observe folds one scheduler event into the registry.
+func (r *Registry) Observe(e obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e.Kind {
+	case obs.Steal:
+		r.steals++
+	case obs.TempoSwitch:
+		r.tempoSwitches++
+	case obs.DVFSCommit:
+		r.dvfsCommits++
+	case obs.EnergySample:
+		r.powerW = e.Power
+		r.energyJ = e.Energy
+	case obs.JobStart:
+		r.jobsStarted++
+		r.jobStart[e.Job] = e.Time
+		// A JobDone lost to async-sink overflow would leave its start
+		// entry behind forever; job ids are monotonic per executor, so
+		// sweep entries too old to ever complete. Triggering at twice
+		// the window keeps the sweep amortized O(1) per event: each
+		// full scan evicts at least a window's worth of orphans.
+		if len(r.jobStart) > 2*maxTrackedJobs {
+			for id := range r.jobStart {
+				if id <= e.Job-maxTrackedJobs {
+					delete(r.jobStart, id)
+				}
+			}
+		}
+	case obs.JobDone:
+		r.jobsDone++
+		r.jobEnergyJ += e.Energy
+		if start, ok := r.jobStart[e.Job]; ok {
+			delete(r.jobStart, e.Job)
+			lat := (e.Time - start).Seconds()
+			if lat < 0 {
+				lat = 0
+			}
+			r.observeLatencyLocked(lat)
+		}
+	}
+}
+
+func (r *Registry) observeLatencyLocked(sec float64) {
+	r.latSum += sec
+	r.latCount++
+	for i, ub := range LatencyBuckets {
+		if sec <= ub {
+			r.latBuckets[i]++
+			return
+		}
+	}
+	r.latBuckets[len(LatencyBuckets)]++
+}
+
+// snapshotLocked copies the scalar series; r.mu must be held.
+// DroppedEvents is left for the caller to fill outside the lock (the
+// drop source is an external callback that must not run under r.mu).
+func (r *Registry) snapshotLocked() Snapshot {
+	return Snapshot{
+		Steals:        r.steals,
+		TempoSwitches: r.tempoSwitches,
+		DVFSCommits:   r.dvfsCommits,
+		JobsStarted:   r.jobsStarted,
+		JobsCompleted: r.jobsDone,
+		JobsInflight:  r.jobsStarted - r.jobsDone,
+		EnergyJ:       r.energyJ,
+		PowerW:        r.powerW,
+		JobEnergyJ:    r.jobEnergyJ,
+		LatencySum:    r.latSum,
+		LatencyCount:  r.latCount,
+	}
+}
+
+// Snapshot returns a consistent copy of the scalar series.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := r.snapshotLocked()
+	dropSource := r.dropSource
+	r.mu.Unlock()
+	if dropSource != nil {
+		s.DroppedEvents = dropSource()
+	}
+	return s
+}
+
+// WritePrometheus renders every series in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	snap := r.snapshotLocked()
+	buckets := append([]int64(nil), r.latBuckets...)
+	dropSource := r.dropSource
+	r.mu.Unlock()
+	if dropSource != nil {
+		snap.DroppedEvents = dropSource()
+	}
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v any) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter("hermes_steals_total", "Successful task steals.", snap.Steals)
+	counter("hermes_tempo_switches_total", "Worker tempo-level changes requested.", snap.TempoSwitches)
+	counter("hermes_dvfs_commits_total", "Clock-domain frequency transitions that landed.", snap.DVFSCommits)
+	counter("hermes_jobs_started_total", "Jobs that began execution.", snap.JobsStarted)
+	counter("hermes_jobs_completed_total", "Jobs that completed (success, cancellation or failure).", snap.JobsCompleted)
+	gauge("hermes_jobs_inflight", "Jobs started and not yet completed.", snap.JobsInflight)
+	gauge("hermes_power_watts", "Instantaneous modeled machine power draw.", snap.PowerW)
+	gauge("hermes_energy_joules", "Cumulative modeled machine energy.", snap.EnergyJ)
+	counter("hermes_job_energy_joules_total", "Sum of per-job attributed energy over completed jobs.", snap.JobEnergyJ)
+	counter("hermes_observer_dropped_events_total", "Observer events dropped by the async sink's bounded buffer.", snap.DroppedEvents)
+
+	p("# HELP hermes_job_latency_seconds Job sojourn time from start to completion.\n")
+	p("# TYPE hermes_job_latency_seconds histogram\n")
+	var cum int64
+	for i, ub := range LatencyBuckets {
+		cum += buckets[i]
+		p("hermes_job_latency_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+	}
+	cum += buckets[len(LatencyBuckets)]
+	p("hermes_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("hermes_job_latency_seconds_sum %v\n", snap.LatencySum)
+	p("hermes_job_latency_seconds_count %d\n", snap.LatencyCount)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal representation.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format, for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ParseText extracts scalar series values from a Prometheus text
+// exposition — the minimal reader the load generator uses to diff
+// /metrics scrapes without a client dependency. Histogram buckets and
+// labeled series other than +Inf buckets are skipped. Returned map
+// keys are bare metric names.
+func ParseText(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsRune(name, '{') {
+			continue // labeled series: the scalar readers don't need them
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}

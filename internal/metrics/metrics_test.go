@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hermes/internal/obs"
+	"hermes/internal/units"
+)
+
+func feed(r *Registry, events ...obs.Event) {
+	for _, e := range events {
+		r.Observe(e)
+	}
+}
+
+func TestRegistryFoldsEvents(t *testing.T) {
+	r := New()
+	feed(r,
+		obs.Event{Kind: obs.JobStart, Job: 1, Time: 0},
+		obs.Event{Kind: obs.Steal, Worker: 1, Victim: 0},
+		obs.Event{Kind: obs.Steal, Worker: 2, Victim: 1},
+		obs.Event{Kind: obs.TempoSwitch, Worker: 1, Freq: units.GHz},
+		obs.Event{Kind: obs.DVFSCommit, Worker: 1, Freq: units.GHz},
+		obs.Event{Kind: obs.EnergySample, Power: 42.5, Energy: 1.25},
+		obs.Event{Kind: obs.JobDone, Job: 1, Time: 50 * units.Millisecond, Energy: 0.75},
+	)
+	s := r.Snapshot()
+	if s.Steals != 2 || s.TempoSwitches != 1 || s.DVFSCommits != 1 {
+		t.Fatalf("scheduler counters wrong: %+v", s)
+	}
+	if s.JobsStarted != 1 || s.JobsCompleted != 1 || s.JobsInflight != 0 {
+		t.Fatalf("job counters wrong: %+v", s)
+	}
+	if s.PowerW != 42.5 || s.EnergyJ != 1.25 || s.JobEnergyJ != 0.75 {
+		t.Fatalf("energy series wrong: %+v", s)
+	}
+	if s.LatencyCount != 1 || s.LatencySum < 0.049 || s.LatencySum > 0.051 {
+		t.Fatalf("latency fold wrong: count=%d sum=%g", s.LatencyCount, s.LatencySum)
+	}
+}
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	r := New()
+	// 3 jobs: 2 ms, 30 ms, 2 s.
+	lat := []units.Time{2 * units.Millisecond, 30 * units.Millisecond, 2 * units.Second}
+	for i, l := range lat {
+		id := int64(i + 1)
+		feed(r,
+			obs.Event{Kind: obs.JobStart, Job: id, Time: 0},
+			obs.Event{Kind: obs.JobDone, Job: id, Time: l},
+		)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`hermes_job_latency_seconds_bucket{le="0.0025"} 1`,
+		`hermes_job_latency_seconds_bucket{le="0.05"} 2`,
+		`hermes_job_latency_seconds_bucket{le="2.5"} 3`,
+		`hermes_job_latency_seconds_bucket{le="+Inf"} 3`,
+		`hermes_job_latency_seconds_count 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestWritePrometheusSeriesComplete(t *testing.T) {
+	r := New()
+	r.SetDropSource(func() uint64 { return 7 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, series := range []string{
+		"hermes_steals_total", "hermes_tempo_switches_total",
+		"hermes_dvfs_commits_total", "hermes_jobs_started_total",
+		"hermes_jobs_completed_total", "hermes_jobs_inflight",
+		"hermes_power_watts", "hermes_energy_joules",
+		"hermes_job_energy_joules_total", "hermes_observer_dropped_events_total",
+		"hermes_job_latency_seconds_sum",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("scrape missing series %s", series)
+		}
+	}
+	if !strings.Contains(text, "hermes_observer_dropped_events_total 7") {
+		t.Error("drop source not wired into scrape")
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := New()
+	feed(r,
+		obs.Event{Kind: obs.Steal},
+		obs.Event{Kind: obs.Steal},
+		obs.Event{Kind: obs.EnergySample, Power: 10.5, Energy: 3.5},
+	)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals := ParseText(b.String())
+	if vals["hermes_steals_total"] != 2 {
+		t.Fatalf("parsed steals = %g, want 2", vals["hermes_steals_total"])
+	}
+	if vals["hermes_energy_joules"] != 3.5 {
+		t.Fatalf("parsed energy = %g, want 3.5", vals["hermes_energy_joules"])
+	}
+	if _, ok := vals["hermes_job_latency_seconds_bucket"]; ok {
+		t.Fatal("labeled bucket series should be skipped by the scalar parser")
+	}
+}
+
+func TestUnmatchedJobDoneDoesNotPanic(t *testing.T) {
+	r := New()
+	// JobDone without a recorded JobStart (e.g. registry attached
+	// mid-stream): counted, but no latency observation.
+	feed(r, obs.Event{Kind: obs.JobDone, Job: 9, Time: units.Second, Energy: 1})
+	s := r.Snapshot()
+	if s.JobsCompleted != 1 || s.LatencyCount != 0 {
+		t.Fatalf("mid-stream JobDone handled wrong: %+v", s)
+	}
+}
+
+// TestJobStartTableBounded pins the leak fix: JobStart entries whose
+// JobDone was lost to sink overflow are swept instead of accumulating
+// forever.
+func TestJobStartTableBounded(t *testing.T) {
+	r := New()
+	for id := int64(1); id <= 3*maxTrackedJobs; id++ {
+		r.Observe(obs.Event{Kind: obs.JobStart, Job: id})
+	}
+	r.mu.Lock()
+	n := len(r.jobStart)
+	r.mu.Unlock()
+	if n > 2*maxTrackedJobs+1 {
+		t.Fatalf("jobStart table grew to %d entries (window %d); orphaned starts leak", n, maxTrackedJobs)
+	}
+}

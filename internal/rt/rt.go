@@ -95,6 +95,11 @@ type jobState struct {
 	// finished); only then does the job complete with ctx's error.
 	interrupted           atomic.Bool
 	tasks, spawns, steals atomic.Int64
+	// busyNS accumulates the wall-clock nanoseconds workers spent
+	// serving this job — per-task self time, exclusive of nested
+	// tasks a join runs inline — the weight for sharing the pool's
+	// energy among concurrent jobs.
+	busyNS atomic.Int64
 
 	failMu  sync.Mutex
 	failErr error // first task panic, reported from Wait
@@ -152,6 +157,11 @@ type worker struct {
 	// domains, so only retuneLocked (under meterMu, for this worker or
 	// a victim) writes it.
 	curFreq atomic.Int64
+	// childNS counts wall-clock nanoseconds consumed by completed
+	// runTask frames nested below the currently-running one, so each
+	// frame can attribute its exclusive self time to its job (a join
+	// runs other tasks — possibly other jobs' — inline). Owner-only.
+	childNS int64
 }
 
 // rngState is a tiny splitmix64 PRNG: victim selection needs speed,
@@ -451,10 +461,22 @@ func (e *Exec) snapshot() poolSnap {
 // Counts the pool cannot attribute to one job (failed steals, tempo
 // switches, residency) cover everything that happened during the
 // job's span, concurrent neighbours included; Tasks, Spawns and
-// Steals are exact per-job attributions.
+// Steals are exact per-job attributions. Energy is worker-time
+// weighted: the machine's modeled joules over the span are shared in
+// proportion to the Busy core residency the meter attributed to this
+// job, so concurrent jobs partition the pool's energy instead of each
+// claiming the whole machine (a job running alone keeps the full
+// draw, idle cores included).
 func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 	span := units.Time(time.Since(js.start).Nanoseconds()) * units.Nanosecond
-	energy := end.joules - js.snap.joules
+	machineJ := end.joules - js.snap.joules
+	energy := machineJ
+	if poolBusy := end.busy - js.snap.busy; poolBusy > 0 {
+		jobBusy := units.Time(js.busyNS.Load()) * units.Nanosecond
+		if jobBusy < poolBusy {
+			energy = machineJ * float64(jobBusy) / float64(poolBusy)
+		}
+	}
 	r := core.Report{
 		System:        e.cfg.Spec.Name,
 		Workers:       e.cfg.Workers,
@@ -880,6 +902,21 @@ func (w *worker) runTask(t *task) {
 	w.backoff = 0
 	w.setState(cpu.Busy)
 	js := t.job
+	// Frame timing for per-job worker-time attribution: this frame's
+	// self time is its wall-clock elapsed minus whatever nested
+	// runTask frames (run inline by join — possibly serving other
+	// jobs) consumed.
+	frameStart := time.Now()
+	childBefore := w.childNS
+	defer func() {
+		total := time.Since(frameStart).Nanoseconds()
+		if js != nil {
+			if self := total - (w.childNS - childBefore); self > 0 {
+				js.busyNS.Add(self)
+			}
+		}
+		w.childNS = childBefore + total
+	}()
 	if js != nil && js.cancelled.Load() {
 		js.interrupted.Store(true) // body skipped: cancellation bit
 	} else {

@@ -334,3 +334,87 @@ func TestConcurrentClose(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentJobEnergyPartition pins the worker-time-weighted
+// energy attribution: concurrent jobs share the machine's modeled
+// energy instead of each claiming the whole draw over its span. With
+// span-delta attribution two fully-overlapping jobs would each report
+// ~the machine total (sum ~2x); weighted attribution keeps the sum at
+// ~1x.
+func TestConcurrentJobEnergyPartition(t *testing.T) {
+	e, err := NewExec(core.Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(c wl.Ctx) {
+		wl.For(c, 0, 16, 1, func(c wl.Ctx, lo, hi int) {
+			c.Work(50_000_000) // ~20ms at 2.4GHz per element
+		})
+	}
+	machineStart := e.snapshot()
+	j1, err := e.Submit(context.Background(), work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.Submit(context.Background(), work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := j1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := j2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machineEnd := e.snapshot()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.EnergyJ <= 0 || r2.EnergyJ <= 0 {
+		t.Fatalf("jobs lost their energy: %g, %g", r1.EnergyJ, r2.EnergyJ)
+	}
+	total := machineEnd.joules - machineStart.joules
+	sum := r1.EnergyJ + r2.EnergyJ
+	if sum > total*1.05 {
+		t.Fatalf("per-job energies double-count: sum=%.3fJ > machine total %.3fJ", sum, total)
+	}
+	// The two identical overlapping jobs should also split the energy
+	// roughly evenly — neither claims the whole machine.
+	if r1.EnergyJ > total*0.9 || r2.EnergyJ > total*0.9 {
+		t.Fatalf("one job claimed nearly the whole machine: %.3fJ and %.3fJ of %.3fJ",
+			r1.EnergyJ, r2.EnergyJ, total)
+	}
+}
+
+// TestSoloJobKeepsFullMachineEnergy: a job running alone still owns
+// the whole machine's draw over its span (idle cores included), as
+// before the weighted attribution.
+func TestSoloJobKeepsFullMachineEnergy(t *testing.T) {
+	e, err := NewExec(core.Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := e.snapshot()
+	j, err := e.Submit(context.Background(), func(c wl.Ctx) {
+		wl.For(c, 0, 8, 1, func(c wl.Ctx, lo, hi int) {
+			c.Work(50_000_000)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := j.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := e.snapshot()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := end.joules - start.joules
+	if r.EnergyJ < total*0.80 || r.EnergyJ > total*1.01 {
+		t.Fatalf("solo job energy %.3fJ out of band vs machine %.3fJ", r.EnergyJ, total)
+	}
+}

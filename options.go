@@ -8,8 +8,10 @@ import (
 
 // settings accumulates option values before validation.
 type settings struct {
-	cfg     Config
-	backend Backend
+	cfg      Config
+	backend  Backend
+	asyncObs Observer
+	asyncBuf int
 }
 
 // Option configures a Runtime under construction. Options that can
@@ -140,6 +142,29 @@ func WithProfile(period Time, window int) Option {
 func WithObserver(o Observer) Option {
 	return func(s *settings) error {
 		s.cfg.Observer = o
+		return nil
+	}
+}
+
+// WithAsyncObserver streams scheduler events to o through a bounded
+// asynchronous sink owned by the Runtime: workers enqueue events
+// without blocking (a slow or stalled o cannot perturb the scheduler
+// hot path), a dedicated goroutine drains the buffer into o, and
+// Runtime.Close drains every buffered event before returning. When
+// the buffer is full new events are dropped and counted —
+// Runtime.EventsDropped reports the loss, so a deployment sized with
+// enough buffer observes the complete stream (EventsDropped stays 0).
+// buffer is the event capacity; <= 0 selects the default (4096).
+// Unlike WithObserver, o is only ever called from one goroutine and
+// need not be concurrency-safe. The two options are mutually
+// exclusive.
+func WithAsyncObserver(o Observer, buffer int) Option {
+	return func(s *settings) error {
+		if o == nil {
+			return fmt.Errorf("hermes: nil async observer")
+		}
+		s.asyncObs = o
+		s.asyncBuf = buffer
 		return nil
 	}
 }

@@ -95,6 +95,9 @@ type Runtime struct {
 	cfg     Config
 	backend Backend
 	exec    Executor
+	// sink is the Runtime-owned async observer from WithAsyncObserver,
+	// nil when events flow synchronously (WithObserver or none).
+	sink *obs.Async
 }
 
 // New builds a Runtime from functional options. The zero option set
@@ -111,11 +114,27 @@ func New(opts ...Option) (*Runtime, error) {
 			return nil, err
 		}
 	}
-	cfg, err := s.cfg.Validate()
-	if err != nil {
+	var sink *obs.Async
+	if s.asyncObs != nil {
+		if s.cfg.Observer != nil {
+			return nil, errors.New("hermes: WithObserver and WithAsyncObserver are mutually exclusive")
+		}
+		sink = obs.NewAsync(s.asyncObs, s.asyncBuf)
+		s.cfg.Observer = sink
+	}
+	// fail releases the sink's consumer goroutine on any constructor
+	// error after it has been started.
+	fail := func(err error) (*Runtime, error) {
+		if sink != nil {
+			sink.Close()
+		}
 		return nil, err
 	}
-	r := &Runtime{cfg: cfg, backend: s.backend}
+	cfg, err := s.cfg.Validate()
+	if err != nil {
+		return fail(err)
+	}
+	r := &Runtime{cfg: cfg, backend: s.backend, sink: sink}
 	switch s.backend {
 	case Sim:
 		r.exec = newSimExec(cfg)
@@ -125,12 +144,12 @@ func New(opts ...Option) (*Runtime, error) {
 		// to min(GOMAXPROCS, domains) on real goroutine workers.
 		ex, err := rt.NewExec(s.cfg)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		r.cfg = ex.Config()
 		r.exec = ex
 	default:
-		return nil, fmt.Errorf("hermes: unknown backend %d", s.backend)
+		return fail(fmt.Errorf("hermes: unknown backend %d", s.backend))
 	}
 	return r, nil
 }
@@ -172,8 +191,29 @@ func (r *Runtime) Run(ctx context.Context, root Task) (Report, error) {
 }
 
 // Close rejects further submissions, waits for every submitted job to
-// complete, then shuts the backend down. Safe to call more than once.
-func (r *Runtime) Close() error { return r.exec.Close() }
+// complete, then shuts the backend down. When the Runtime owns an
+// asynchronous observer sink (WithAsyncObserver), Close drains every
+// buffered event into the observer before returning — the executor
+// stops first, so no events race the drain. Safe to call more than
+// once.
+func (r *Runtime) Close() error {
+	err := r.exec.Close()
+	if r.sink != nil {
+		r.sink.Close()
+	}
+	return err
+}
+
+// EventsDropped reports how many observer events the asynchronous
+// sink (WithAsyncObserver) has discarded because its buffer was full.
+// It is 0 while the buffer keeps up, and always 0 without
+// WithAsyncObserver (a synchronous Observer never drops).
+func (r *Runtime) EventsDropped() uint64 {
+	if r.sink == nil {
+		return 0
+	}
+	return r.sink.Dropped()
+}
 
 // --- simulator backend ----------------------------------------------
 

@@ -426,3 +426,138 @@ func TestRunWrapperCompat(t *testing.T) {
 		t.Fatalf("legacy Run degenerate report: %+v", r)
 	}
 }
+
+// TestAsyncObserverSlowConsumerDoesNotBlockScheduler pins the point
+// of WithAsyncObserver: a pathologically slow event consumer must not
+// stretch job latency, because workers enqueue without waiting.
+func TestAsyncObserverSlowConsumerDoesNotBlockScheduler(t *testing.T) {
+	var seen atomic.Int64
+	slow := hermes.ObserverFunc(func(hermes.Event) {
+		seen.Add(1)
+		time.Sleep(10 * time.Millisecond)
+	})
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithWorkers(4),
+		hermes.WithAsyncObserver(slow, 64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// A steal-heavy spawn tree: emits far more events than the slow
+	// consumer could absorb synchronously in the latency bound.
+	_, err = rt.Run(context.Background(), func(c hermes.Ctx) {
+		hermes.For(c, 0, 256, 2, func(c hermes.Ctx, lo, hi int) {
+			c.Work(hermes.Cycles(100_000 * (hi - lo)))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The job itself is ~11ms of accounted work over 4 workers. Give
+	// a wide margin for CI, but stay far under what synchronous
+	// delivery of even 100 events at 10ms would cost (1s+).
+	if elapsed > 800*time.Millisecond {
+		t.Fatalf("job took %v behind a slow observer; scheduler is being blocked", elapsed)
+	}
+	go rt.Close() // draining 64 buffered slow events takes ~640ms; don't serialize the suite on it
+	if seen.Load() == 0 {
+		t.Fatal("no events reached the slow consumer")
+	}
+}
+
+// TestAsyncObserverCompleteStreamBelowBufferSize: with a buffer sized
+// for the run, the async pipeline must lose nothing — every job's
+// lifecycle framing arrives, and EventsDropped stays 0.
+func TestAsyncObserverCompleteStreamBelowBufferSize(t *testing.T) {
+	var starts, dones atomic.Int64
+	counting := hermes.ObserverFunc(func(e hermes.Event) {
+		switch e.Kind {
+		case hermes.EventJobStart:
+			starts.Add(1)
+		case hermes.EventJobDone:
+			dones.Add(1)
+		}
+	})
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithWorkers(4),
+		hermes.WithAsyncObserver(counting, 1<<16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 40
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := rt.Run(context.Background(), func(c hermes.Ctx) {
+				hermes.For(c, 0, 32, 4, func(c hermes.Ctx, lo, hi int) {
+					c.Work(hermes.Cycles(50_000 * (hi - lo)))
+				})
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.EventsDropped(); got != 0 {
+		t.Fatalf("%d events dropped below buffer size", got)
+	}
+	if starts.Load() != jobs || dones.Load() != jobs {
+		t.Fatalf("lifecycle framing incomplete: %d starts, %d dones, want %d each",
+			starts.Load(), dones.Load(), jobs)
+	}
+}
+
+// TestAsyncObserverDropsAreCounted: with a tiny buffer and a wedged
+// consumer, the runtime reports loss instead of hiding it.
+func TestAsyncObserverDropsAreCounted(t *testing.T) {
+	block := make(chan struct{})
+	var once sync.Once
+	wedged := hermes.ObserverFunc(func(hermes.Event) { <-block })
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithWorkers(4),
+		hermes.WithAsyncObserver(wedged, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer once.Do(func() { close(block) })
+	if _, err := rt.Run(context.Background(), func(c hermes.Ctx) {
+		hermes.For(c, 0, 128, 2, func(c hermes.Ctx, lo, hi int) {
+			c.Work(hermes.Cycles(20_000 * (hi - lo)))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.EventsDropped() == 0 {
+		t.Fatal("wedged 2-slot observer dropped nothing; drop accounting is broken")
+	}
+	once.Do(func() { close(block) })
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserverOptionsMutuallyExclusive: the sync and async observer
+// options cannot be combined, and a nil async observer is rejected.
+func TestObserverOptionsMutuallyExclusive(t *testing.T) {
+	o := hermes.ObserverFunc(func(hermes.Event) {})
+	if _, err := hermes.New(hermes.WithObserver(o), hermes.WithAsyncObserver(o, 16)); err == nil {
+		t.Fatal("WithObserver + WithAsyncObserver accepted; want error")
+	}
+	if _, err := hermes.New(hermes.WithAsyncObserver(nil, 16)); err == nil {
+		t.Fatal("nil async observer accepted; want error")
+	}
+}
