@@ -42,41 +42,57 @@ type loadOpts struct {
 // loadSummary is the run's JSON result — the artifact CI records for
 // the perf trajectory.
 type loadSummary struct {
-	Target           string     `json:"target"`
-	Workload         synth.Spec `json:"workload"`
-	RPSTarget        float64    `json:"rps_target"`
-	DurationS        float64    `json:"duration_s"`
-	Submitted        int64      `json:"submitted"`
-	Completed        int64      `json:"completed"`
-	Rejected         int64      `json:"rejected"`
-	Errors           int64      `json:"errors"`
-	ThroughputRPS    float64    `json:"throughput_rps"`
-	P50SojournMS     float64    `json:"p50_sojourn_ms"`
-	P95SojournMS     float64    `json:"p95_sojourn_ms"`
-	P99SojournMS     float64    `json:"p99_sojourn_ms"`
-	MaxSojournMS     float64    `json:"max_sojourn_ms"`
-	PeakInflight     int64      `json:"peak_inflight"`
-	JoulesPerRequest float64    `json:"joules_per_request"`
-	DroppedEvents    uint64     `json:"dropped_events"`
+	Target    string     `json:"target"`
+	Workload  synth.Spec `json:"workload"`
+	RPSTarget float64    `json:"rps_target"`
+	DurationS float64    `json:"duration_s"`
+	Submitted int64      `json:"submitted"`
+	Completed int64      `json:"completed"`
+	Rejected  int64      `json:"rejected"`
+	// Pruned counts jobs that completed but whose status record was
+	// evicted from the server's retention window before the client
+	// observed it: done, but with no sojourn sample. Included in
+	// Completed.
+	Pruned           int64   `json:"pruned"`
+	Errors           int64   `json:"errors"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	P50SojournMS     float64 `json:"p50_sojourn_ms"`
+	P95SojournMS     float64 `json:"p95_sojourn_ms"`
+	P99SojournMS     float64 `json:"p99_sojourn_ms"`
+	MaxSojournMS     float64 `json:"max_sojourn_ms"`
+	PeakInflight     int64   `json:"peak_inflight"`
+	JoulesPerRequest float64 `json:"joules_per_request"`
+	DroppedEvents    uint64  `json:"dropped_events"`
 }
 
 func (s loadSummary) String() string {
 	return fmt.Sprintf(
-		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d rejected=%d errors=%d\n"+
+		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d (pruned %d) rejected=%d errors=%d\n"+
 			"  throughput=%.1f req/s sojourn p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n"+
 			"  peak-inflight=%d joules/req=%.4f dropped-events=%d",
-		s.Target, s.Workload, s.RPSTarget, s.DurationS, s.Submitted, s.Completed, s.Rejected, s.Errors,
+		s.Target, s.Workload, s.RPSTarget, s.DurationS, s.Submitted, s.Completed, s.Pruned,
+		s.Rejected, s.Errors,
 		s.ThroughputRPS, s.P50SojournMS, s.P95SojournMS, s.P99SojournMS, s.MaxSojournMS,
 		s.PeakInflight, s.JoulesPerRequest, s.DroppedEvents)
 }
+
+// outcome classifies one request's fate.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected
+	// outcomePruned: the job completed but the server evicted its
+	// record before we saw the final status — done, sojourn unknown.
+	outcomePruned
+)
 
 // target abstracts where requests go: a remote hermes-serve or an
 // in-process Runtime. do blocks from arrival to completion and
 // returns the request's attributed joules where the target knows it
 // per job (in-process), else 0 with energy recovered from metrics.
 type target interface {
-	// do returns (rejected, err).
-	do(spec synth.Spec) (bool, error)
+	do(spec synth.Spec) (outcome, error)
 	// finish returns (joules attributed to completed requests, dropped events).
 	finish() (float64, uint64, error)
 	name() string
@@ -99,9 +115,16 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	}
 	opts.Spec = spec
 
+	if opts.URL == "" && opts.Backend == "sim" {
+		// The simulator multiplexes jobs in virtual time: replay the
+		// whole arrival trace deterministically instead of racing the
+		// wall clock.
+		return runVirtualLoad(opts)
+	}
+
 	var tgt target
 	if opts.URL != "" {
-		tgt = &httpTarget{base: opts.URL, client: &http.Client{Timeout: 30 * time.Second}}
+		tgt = &httpTarget{base: opts.URL, client: &http.Client{Timeout: 60 * time.Second}}
 	} else {
 		t, err := newInprocTarget(opts)
 		if err != nil {
@@ -115,6 +138,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		mu                  sync.Mutex
 		sojourns            []time.Duration
 		submitted, rejected atomic.Int64
+		pruned              atomic.Int64
 		errs                atomic.Int64
 		inflight, peak      atomic.Int64
 	)
@@ -140,15 +164,17 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 			}
 			defer inflight.Add(-1)
 			t0 := time.Now()
-			rej, err := tgt.do(opts.Spec)
+			out, err := tgt.do(opts.Spec)
 			switch {
-			case rej:
-				rejected.Add(1)
 			case err != nil:
 				errs.Add(1)
 				if opts.Verbose {
 					fmt.Fprintf(os.Stderr, "load: request error: %v\n", err)
 				}
+			case out == outcomeRejected:
+				rejected.Add(1)
+			case out == outcomePruned:
+				pruned.Add(1)
 			default:
 				d := time.Since(t0)
 				mu.Lock()
@@ -165,7 +191,10 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	}
 
 	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
-	completed := int64(len(sojourns))
+	// Pruned jobs completed too — the server just evicted the record
+	// before we read it — so they count toward completion and
+	// throughput, while the sojourn percentiles cover measured jobs.
+	completed := int64(len(sojourns)) + pruned.Load()
 	sum := loadSummary{
 		Target:        tgt.name(),
 		Workload:      opts.Spec,
@@ -174,6 +203,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		Submitted:     submitted.Load(),
 		Completed:     completed,
 		Rejected:      rejected.Load(),
+		Pruned:        pruned.Load(),
 		Errors:        errs.Load(),
 		ThroughputRPS: float64(completed) / elapsed.Seconds(),
 		P50SojournMS:  percentileMS(sojourns, 0.50),
@@ -216,19 +246,24 @@ type inprocTarget struct {
 	sumJ float64
 }
 
+// parseLoadMode maps the -mode flag onto a tempo mode ("" selects
+// Unified for programmatic zero-value opts), rejecting typos instead
+// of silently running Unified.
+func parseLoadMode(s string) (hermes.Mode, error) {
+	if s == "" {
+		return hermes.Unified, nil
+	}
+	return hermes.ParseMode(s)
+}
+
 func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 	be := hermes.Native
 	if opts.Backend == "sim" {
 		be = hermes.Sim
 	}
-	mode := hermes.Unified
-	switch opts.Mode {
-	case "baseline":
-		mode = hermes.Baseline
-	case "workpath":
-		mode = hermes.WorkpathOnly
-	case "workload":
-		mode = hermes.WorkloadOnly
+	mode, err := parseLoadMode(opts.Mode)
+	if err != nil {
+		return nil, err
 	}
 	reg := metrics.New()
 	hopts := []hermes.Option{
@@ -249,19 +284,19 @@ func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 
 func (t *inprocTarget) name() string { return "in-process/" + t.rt.Backend().String() }
 
-func (t *inprocTarget) do(spec synth.Spec) (bool, error) {
+func (t *inprocTarget) do(spec synth.Spec) (outcome, error) {
 	task, _, err := spec.Task()
 	if err != nil {
-		return false, err
+		return outcomeOK, err
 	}
 	rep, err := t.rt.Run(context.Background(), task)
 	if err != nil {
-		return false, err
+		return outcomeOK, err
 	}
 	t.mu.Lock()
 	t.sumJ += rep.EnergyJ
 	t.mu.Unlock()
-	return false, nil
+	return outcomeOK, nil
 }
 
 func (t *inprocTarget) finish() (float64, uint64, error) {
@@ -317,59 +352,90 @@ func (t *httpTarget) prime() error {
 	return nil
 }
 
-func (t *httpTarget) do(spec synth.Spec) (bool, error) {
+// statusWait is the long-poll window requested per GET /jobs/{id}:
+// the server holds the request until completion or this much time
+// passes, so the measured sojourn carries none of the old fixed
+// 2 ms poll-interval bias and idle polling disappears.
+const statusWait = 5 * time.Second
+
+func (t *httpTarget) do(spec synth.Spec) (outcome, error) {
 	if err := t.prime(); err != nil {
-		return false, err
+		return outcomeOK, err
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return false, err
+		return outcomeOK, err
 	}
 	resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return outcomeOK, err
 	}
 	rb, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return true, nil
+		return outcomeRejected, nil
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return false, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+		return outcomeOK, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
 	}
 	var acc struct {
 		ID int64 `json:"id"`
 	}
 	if err := json.Unmarshal(rb, &acc); err != nil {
-		return false, err
+		return outcomeOK, err
 	}
+	return t.poll(acc.ID)
+}
+
+// poll watches one job to completion, preferring the server's
+// long-poll (?wait=). A server predating the wait parameter ignores
+// it and answers immediately; when that happens (a "running" response
+// arriving much faster than the requested window) poll degrades to
+// client-side sleeps with exponential backoff instead of a tight
+// 2 ms loop.
+func (t *httpTarget) poll(id int64) (outcome, error) {
+	backoff := 2 * time.Millisecond
 	deadline := time.Now().Add(2 * time.Minute)
 	for time.Now().Before(deadline) {
-		resp, err := t.client.Get(fmt.Sprintf("%s/jobs/%d", t.base, acc.ID))
+		reqStart := time.Now()
+		resp, err := t.client.Get(fmt.Sprintf("%s/jobs/%d?wait=%s", t.base, id, statusWait))
 		if err != nil {
-			return false, err
+			return outcomeOK, err
 		}
 		sb, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return false, fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(sb))
-		}
 		var st struct {
 			Status string `json:"status"`
 			Error  string `json:"error"`
 		}
-		if err := json.Unmarshal(sb, &st); err != nil {
-			return false, err
+		decodable := json.Unmarshal(sb, &st) == nil
+		if resp.StatusCode == http.StatusGone && decodable && st.Status == "pruned" {
+			// Completed but evicted from the server's retention window:
+			// done, not failed.
+			return outcomePruned, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return outcomeOK, fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(sb))
+		}
+		if !decodable {
+			return outcomeOK, fmt.Errorf("status: bad body: %s", bytes.TrimSpace(sb))
 		}
 		switch st.Status {
 		case "done":
-			return false, nil
+			return outcomeOK, nil
 		case "failed":
-			return false, fmt.Errorf("job %d failed: %s", acc.ID, st.Error)
+			return outcomeOK, fmt.Errorf("job %d failed: %s", id, st.Error)
 		}
-		time.Sleep(2 * time.Millisecond)
+		if time.Since(reqStart) < statusWait/2 {
+			// The server answered "running" without holding the
+			// long-poll: fall back to client-side pacing.
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		}
 	}
-	return false, fmt.Errorf("job %d: poll timeout", acc.ID)
+	return outcomeOK, fmt.Errorf("job %d: poll timeout", id)
 }
 
 func (t *httpTarget) finish() (float64, uint64, error) {

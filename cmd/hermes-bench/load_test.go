@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 
@@ -72,5 +74,54 @@ func TestInprocLoadShortRun(t *testing.T) {
 	}
 	if sum.DroppedEvents != 0 {
 		t.Fatalf("%d events dropped below buffer size", sum.DroppedEvents)
+	}
+}
+
+// TestVirtualLoadDeterministic is the load generator's acceptance pin:
+// -load -backend sim replays the seeded Poisson trace in virtual time,
+// two identical runs emit byte-identical JSON summaries, and the jobs
+// overlap in virtual time (peak in-flight above 1).
+func TestVirtualLoadDeterministic(t *testing.T) {
+	opts := loadOpts{
+		RPS:      400,
+		Duration: 300 * time.Millisecond, // virtual window — no wall-clock pacing
+		Spec:     synth.Spec{Kind: "ticks", N: 64, Work: 100_000},
+		Seed:     7,
+		Backend:  "sim",
+		Mode:     "unified",
+		Workers:  4,
+	}
+	spec, err := opts.Spec.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Spec = spec
+	a, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runLoad(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical seeded virtual runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("JSON summaries differ:\n%s\nvs\n%s", ja, jb)
+	}
+	if a.Target != "in-process/sim-virtual" {
+		t.Fatalf("virtual mode not selected: target %q", a.Target)
+	}
+	if a.Submitted == 0 || a.Completed != a.Submitted || a.Errors != 0 {
+		t.Fatalf("virtual run lost requests: %+v", a)
+	}
+	if a.PeakInflight < 2 {
+		t.Fatalf("no virtual-time overlap: peak in-flight %d", a.PeakInflight)
+	}
+	if a.JoulesPerRequest <= 0 || a.P50SojournMS <= 0 {
+		t.Fatalf("degenerate virtual summary: %+v", a)
 	}
 }

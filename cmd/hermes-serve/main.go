@@ -7,10 +7,19 @@
 // Endpoints:
 //
 //	POST /jobs      submit a synthetic workload; 202 + job id, 429 over max in-flight
-//	GET  /jobs/{id} job status: running / done / failed, sojourn, report
+//	GET  /jobs/{id} job status: running / done / failed, sojourn, report.
+//	                ?wait=<dur> long-polls until completion or the wait
+//	                elapses (capped at 30s); completed jobs evicted from
+//	                the retention window answer 410 status "pruned"
 //	GET  /metrics   Prometheus text: steals, tempo switches, DVFS commits,
-//	                power/energy, job latency histogram, dropped events
+//	                power/energy, per-workload submissions and job latency
+//	                histogram, dropped events
 //	GET  /healthz   liveness + in-flight / drop counters
+//
+// Both backends serve concurrent jobs over one shared machine: real
+// goroutine workers with -backend native, the deterministic
+// discrete-event machine (virtual-time multiplexing) with -backend
+// sim.
 //
 // Quickstart:
 //
@@ -113,11 +122,11 @@ func main() {
 // a server: Observer events -> bounded async sink -> metrics registry
 // -> /metrics.
 func buildServer(backend, mode string, workers, buffer, maxInflight int, jobTimeout time.Duration) (*server, *hermes.Runtime, error) {
-	be, err := parseBackend(backend)
+	be, err := hermes.ParseBackend(backend)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := parseMode(mode)
+	m, err := hermes.ParseMode(mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -136,28 +145,4 @@ func buildServer(backend, mode string, workers, buffer, maxInflight int, jobTime
 	}
 	reg.SetDropSource(rt.EventsDropped)
 	return newServer(rt, reg, maxInflight, jobTimeout), rt, nil
-}
-
-func parseBackend(s string) (hermes.Backend, error) {
-	switch s {
-	case "native":
-		return hermes.Native, nil
-	case "sim":
-		return hermes.Sim, nil
-	}
-	return 0, fmt.Errorf("unknown backend %q (want native or sim)", s)
-}
-
-func parseMode(s string) (hermes.Mode, error) {
-	switch s {
-	case "baseline":
-		return hermes.Baseline, nil
-	case "workpath":
-		return hermes.WorkpathOnly, nil
-	case "workload":
-		return hermes.WorkloadOnly, nil
-	case "unified", "hermes":
-		return hermes.Unified, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (want baseline, workpath, workload or unified)", s)
 }

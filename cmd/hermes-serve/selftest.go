@@ -27,6 +27,10 @@ var selftestSeries = []string{
 	"hermes_job_latency_seconds_count",
 	"hermes_jobs_completed_total",
 	"hermes_observer_dropped_events_total",
+	`hermes_jobs_submitted_total{workload="fib"}`,
+	`hermes_jobs_submitted_total{workload="matmul"}`,
+	`hermes_jobs_submitted_total{workload="ticks"}`,
+	`hermes_job_latency_seconds_count{workload="fib"}`,
 }
 
 // runSelftest boots the full server on a loopback port and exercises

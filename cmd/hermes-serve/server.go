@@ -32,18 +32,39 @@ type server struct {
 	peak        atomic.Int64 // high-water mark of concurrently in-flight jobs
 
 	jobTimeout time.Duration
+	// retainDone bounds how many completed job records stay queryable
+	// before eviction (pruned jobs answer 410, not 404).
+	retainDone int
 
 	mu   sync.Mutex
 	jobs map[int64]*jobRecord
 	// doneOrder lists completed job ids oldest-first; records beyond
 	// retainDone are pruned so a long-lived server's job index stays
-	// bounded (status queries for pruned jobs get 404).
-	doneOrder []int64
-	started   time.Time
+	// bounded. failedPruned remembers which evicted jobs had FAILED,
+	// exactly for the most recent retainDone evicted failures; once
+	// that memory itself overflows, failedForgotten rises and ids at
+	// or below it answer "unknown" rather than "pruned" — eviction
+	// degrades to ambiguity, never to claiming success for a failure.
+	doneOrder       []int64
+	failedPruned    map[int64]bool
+	failedOrder     []int64
+	failedForgotten int64
+	// maxID is the highest job id this server has accepted. Every id
+	// in [1, maxID] was a real job (the runtime assigns them
+	// monotonically and this server is its only submitter), so an id
+	// at or below the watermark that is missing from the index was
+	// completed and pruned — not unknown.
+	maxID   int64
+	started time.Time
 }
 
-// retainDone bounds how many completed job records stay queryable.
-const retainDone = 4096
+// defaultRetainDone bounds how many completed job records stay
+// queryable when the server is built with retain <= 0.
+const defaultRetainDone = 4096
+
+// maxStatusWait caps GET /jobs/{id}?wait= long-polls so a client
+// cannot pin a handler goroutine indefinitely.
+const maxStatusWait = 30 * time.Second
 
 // jobRecord tracks one submitted job from HTTP accept to completion.
 type jobRecord struct {
@@ -72,13 +93,15 @@ func newServer(rt *hermes.Runtime, reg *metrics.Registry, maxInflight int, jobTi
 		maxInflight = 1024
 	}
 	return &server{
-		rt:          rt,
-		reg:         reg,
-		inflight:    make(chan struct{}, maxInflight),
-		maxInflight: maxInflight,
-		jobTimeout:  jobTimeout,
-		jobs:        make(map[int64]*jobRecord),
-		started:     time.Now(),
+		rt:           rt,
+		reg:          reg,
+		inflight:     make(chan struct{}, maxInflight),
+		maxInflight:  maxInflight,
+		jobTimeout:   jobTimeout,
+		retainDone:   defaultRetainDone,
+		jobs:         make(map[int64]*jobRecord),
+		failedPruned: make(map[int64]bool),
+		started:      time.Now(),
 	}
 }
 
@@ -150,7 +173,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rec.j = j
 	s.mu.Lock()
 	s.jobs[j.ID()] = rec
+	if j.ID() > s.maxID {
+		s.maxID = j.ID()
+	}
 	s.mu.Unlock()
+	// Label the submission series and this job's latency observation
+	// by workload kind.
+	s.reg.JobSubmitted(j.ID(), spec.Kind)
 	go func() {
 		defer cancel()
 		<-j.Done()
@@ -169,7 +198,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // jobStatusJSON is the GET /jobs/{id} response body.
 type jobStatusJSON struct {
 	ID        int64      `json:"id"`
-	Status    string     `json:"status"` // running | done | failed
+	Status    string     `json:"status"` // running | done | failed | pruned | unknown
 	Workload  synth.Spec `json:"workload"`
 	SojournMS float64    `json:"sojourn_ms,omitempty"`
 	Error     string     `json:"error,omitempty"`
@@ -177,8 +206,12 @@ type jobStatusJSON struct {
 }
 
 // reportOut is the wire shape of a completed job's hermes.Report.
+// SojournMS here is the backend's own measurement — virtual time on
+// the Sim backend, wall clock on Native — whereas the enclosing
+// sojourn_ms is always the HTTP layer's wall-clock accept-to-finish.
 type reportOut struct {
 	SpanMS        float64 `json:"span_ms"`
+	SojournMS     float64 `json:"sojourn_ms"`
 	EnergyJ       float64 `json:"energy_j"`
 	AvgPowerW     float64 `json:"avg_power_w"`
 	Tasks         int64   `json:"tasks"`
@@ -188,18 +221,66 @@ type reportOut struct {
 	DVFSCommits   int64   `json:"dvfs_commits"`
 }
 
+// handleStatus reports one job's state. ?wait=<dur> long-polls: the
+// handler holds the request until the job completes or the wait
+// (capped at 30s) elapses, then answers with the current state —
+// removing the poll-interval bias from sojourn measurements and the
+// poll storm from high in-flight counts. Completed jobs evicted from
+// the bounded retention window answer 410 with status "pruned": the
+// job finished, only its record is gone — clients must not read it as
+// a failure.
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
 		return
 	}
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		wait, err = time.ParseDuration(ws)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q (want a duration like 500ms)", ws)
+			return
+		}
+		if wait > maxStatusWait {
+			wait = maxStatusWait
+		}
+	}
 	s.mu.Lock()
 	rec := s.jobs[id]
+	pruned := rec == nil && id >= 1 && id <= s.maxID
+	failed := pruned && s.failedPruned[id]
+	ambiguous := pruned && !failed && id <= s.failedForgotten
 	s.mu.Unlock()
 	if rec == nil {
-		writeError(w, http.StatusNotFound, "no such job %d", id)
+		switch {
+		case failed:
+			// The record is gone but the outcome was a failure: report
+			// it as one, so clients cannot mistake eviction for
+			// success.
+			writeJSON(w, http.StatusGone, jobStatusJSON{ID: id, Status: "failed",
+				Error: "job failed; record evicted from the retention window"})
+		case ambiguous:
+			// Old enough that a failure record for it could itself have
+			// been evicted: the outcome is genuinely unknown, which
+			// clients must not count as success.
+			writeJSON(w, http.StatusGone, jobStatusJSON{ID: id, Status: "unknown",
+				Error: "record evicted; outcome no longer known"})
+		case pruned:
+			writeJSON(w, http.StatusGone, jobStatusJSON{ID: id, Status: "pruned"})
+		default:
+			writeError(w, http.StatusNotFound, "no such job %d", id)
+		}
 		return
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-rec.j.Done():
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+		t.Stop()
 	}
 	out := jobStatusJSON{ID: id, Status: "running", Workload: rec.spec}
 	if rep, jobErr, done := rec.j.Report(); done {
@@ -219,6 +300,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		out.SojournMS = float64(at.Sub(rec.submitted).Microseconds()) / 1e3
 		out.Report = &reportOut{
 			SpanMS:        rep.Span.Seconds() * 1e3,
+			SojournMS:     rep.Sojourn.Seconds() * 1e3,
 			EnergyJ:       rep.EnergyJ,
 			AvgPowerW:     rep.AvgPowerW,
 			Tasks:         rep.Tasks,
@@ -236,8 +318,23 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *server) pruneDone(id int64) {
 	s.mu.Lock()
 	s.doneOrder = append(s.doneOrder, id)
-	for len(s.doneOrder) > retainDone {
-		delete(s.jobs, s.doneOrder[0])
+	for len(s.doneOrder) > s.retainDone {
+		evict := s.doneOrder[0]
+		if rec := s.jobs[evict]; rec != nil {
+			if _, jobErr, done := rec.j.Report(); done && jobErr != nil {
+				s.failedPruned[evict] = true
+				s.failedOrder = append(s.failedOrder, evict)
+				for len(s.failedOrder) > s.retainDone {
+					old := s.failedOrder[0]
+					if old > s.failedForgotten {
+						s.failedForgotten = old
+					}
+					delete(s.failedPruned, old)
+					s.failedOrder = s.failedOrder[1:]
+				}
+			}
+		}
+		delete(s.jobs, evict)
 		s.doneOrder = s.doneOrder[1:]
 	}
 	s.mu.Unlock()

@@ -216,10 +216,188 @@ func TestSustains200InflightWithZeroEventLoss(t *testing.T) {
 	}
 }
 
+// TestLongPollStatus pins GET /jobs/{id}?wait: the handler holds the
+// request until the job completes instead of answering "running", so
+// a single request observes completion with no client-side poll loop.
+func TestLongPollStatus(t *testing.T) {
+	ts, _ := newTestServer(t, 8, 1<<12)
+	// ~80ms of accounted work: long enough that an immediate status
+	// read says "running".
+	id, code := postJob(t, ts.URL, `{"workload":"ticks","n":32,"grain":4,"work":6000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	var quick jobStatusJSON
+	if code := getJSON(t, fmt.Sprintf("%s/jobs/%d", ts.URL, id), &quick); code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if quick.Status != "running" {
+		t.Skipf("job finished before the handler could be observed running (%q)", quick.Status)
+	}
+	var st jobStatusJSON
+	if code := getJSON(t, fmt.Sprintf("%s/jobs/%d?wait=30s", ts.URL, id), &st); code != http.StatusOK {
+		t.Fatalf("long-poll: HTTP %d", code)
+	}
+	if st.Status != "done" {
+		t.Fatalf("long-poll returned %q, want done (wait not honoured)", st.Status)
+	}
+	if st.Report == nil || st.Report.SojournMS <= 0 {
+		t.Fatalf("long-poll result missing backend sojourn: %+v", st.Report)
+	}
+	// A malformed wait is a client error, not a hang.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d?wait=nonsense", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPrunedJobAnswers410 pins the eviction contract: a completed job
+// whose record fell out of the retention window answers 410 with
+// status "pruned" — distinguishable from both "no such job" (404) and
+// a failure.
+func TestPrunedJobAnswers410(t *testing.T) {
+	ts, srv := newTestServer(t, 8, 1<<12)
+	srv.retainDone = 2
+	var ids []int64
+	for i := 0; i < 4; i++ {
+		id, code := postJob(t, ts.URL, `{"workload":"ticks","n":4,"grain":4,"work":100000}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		// Drive each job to completion before the next so eviction
+		// order is deterministic.
+		st := waitDoneOrPruned(t, ts.URL, id, 30*time.Second)
+		if st.Status != "done" && st.Status != "pruned" {
+			t.Fatalf("job %d finished %q", id, st.Status)
+		}
+		ids = append(ids, id)
+	}
+	// Retention 2 with 4 completions: the first job is evicted by now.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, ids[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted job: HTTP %d (%s), want 410", resp.StatusCode, body)
+	}
+	var st jobStatusJSON
+	if err := json.Unmarshal(body, &st); err != nil || st.Status != "pruned" {
+		t.Fatalf("evicted job body %q, want status pruned", body)
+	}
+	// Ids never issued stay 404.
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/jobs/99999", &v); code != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", code)
+	}
+}
+
+// waitDoneOrPruned is waitDone tolerating eviction races (tiny
+// retention windows in tests).
+func waitDoneOrPruned(t *testing.T, base string, id int64, timeout time.Duration) jobStatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d?wait=5s", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st jobStatusJSON
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("job %d: bad body %q", id, body)
+		}
+		if resp.StatusCode == http.StatusGone || st.Status != "running" {
+			return st
+		}
+	}
+	t.Fatalf("job %d not done after %v", id, timeout)
+	return jobStatusJSON{}
+}
+
+// TestServeOnSimBackend: the serving path now runs on the
+// deterministic simulator too — concurrent HTTP jobs multiplex inside
+// the discrete-event machine instead of serializing.
+func TestServeOnSimBackend(t *testing.T) {
+	srv, rt, err := buildServer("sim", "unified", 4, 1<<16, 64, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer func() {
+		ts.Close()
+		rt.Close()
+	}()
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		id, code := postJob(t, ts.URL, `{"workload":"fib","n":14}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		st := waitDoneOrPruned(t, ts.URL, id, 30*time.Second)
+		if st.Status != "done" {
+			t.Fatalf("sim job %d finished %q: %s", id, st.Status, st.Error)
+		}
+		if st.Report == nil || st.Report.SojournMS <= 0 {
+			t.Fatalf("sim job %d missing virtual sojourn: %+v", id, st.Report)
+		}
+	}
+}
+
+// TestPerWorkloadMetricsLabels: the /metrics fold labels submissions
+// and latency by workload kind.
+func TestPerWorkloadMetricsLabels(t *testing.T) {
+	ts, _ := newTestServer(t, 8, 1<<12)
+	for _, spec := range []string{`{"workload":"fib","n":12}`, `{"workload":"ticks","n":16}`} {
+		id, code := postJob(t, ts.URL, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: HTTP %d", spec, code)
+		}
+		waitDone(t, ts.URL, id, 30*time.Second)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`hermes_jobs_submitted_total{workload="fib"} 1`,
+		`hermes_jobs_submitted_total{workload="ticks"} 1`,
+		`hermes_job_latency_seconds_count{workload="fib"}`,
+		`hermes_job_latency_seconds_count{workload="ticks"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	vals := metrics.ParseText(text)
+	if vals["hermes_jobs_submitted_total"] < 2 {
+		t.Errorf("bare-name submitted fold = %g, want >= 2", vals["hermes_jobs_submitted_total"])
+	}
+}
+
 func TestMetricsSeriesPresent(t *testing.T) {
 	ts, _ := newTestServer(t, 8, 1<<12)
-	id, _ := postJob(t, ts.URL, `{"workload":"matmul","n":24}`)
-	waitDone(t, ts.URL, id, 30*time.Second)
+	// One job per workload kind: selftestSeries includes the labeled
+	// per-kind families.
+	for _, spec := range []string{
+		`{"workload":"fib","n":12}`, `{"workload":"matmul","n":24}`, `{"workload":"ticks","n":16}`,
+	} {
+		id, _ := postJob(t, ts.URL, spec)
+		waitDone(t, ts.URL, id, 30*time.Second)
+	}
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)

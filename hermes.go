@@ -33,14 +33,19 @@
 // Two backends serve the same API. Sim (the default) is the
 // deterministic discrete-event simulator — clock domains, DVFS
 // latency, a calibrated power model and a 100 Hz energy meter modeled
-// on the paper's measurement rig — where jobs run one at a time in
-// submission order so every Report is bit-reproducible for a fixed
-// config and seed: the measurement instrument. Native executes on
+// on the paper's measurement rig — where concurrent jobs multiplex
+// over the simulated machine as virtual-time arrivals: every Report
+// is bit-reproducible for a fixed config, seed and arrival trace
+// (SubmitTrace schedules a whole trace at explicit virtual times),
+// making the simulator the measurement instrument for open-system
+// queueing — sojourn time, steal interference between jobs, energy
+// per request under load — as well as single runs. Native executes on
 // real goroutine workers, multiplexing all submitted jobs over one
 // shared pool with tempo throttling applied in wall-clock time: the
 // service engine. Jobs are cancelled cooperatively through their
 // submission context, and WithObserver streams scheduler events
-// (steals, tempo switches, energy samples) for telemetry.
+// (steals, tempo switches, energy samples, job lifecycle with
+// per-job sojourn) for telemetry.
 //
 // The original one-shot entry point remains for simulator runs:
 //

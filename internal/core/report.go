@@ -18,9 +18,16 @@ type Report struct {
 	Mode    Mode
 	Sched   Scheduling
 
-	// Span is the makespan: virtual time from start to root-task
-	// completion.
+	// Span is the execution time: from the job's first task beginning
+	// to run to root-task completion (the makespan of a single-shot
+	// run, where execution starts at time zero).
 	Span units.Time
+	// Sojourn is the open-system latency: from the job entering the
+	// system (virtual arrival on the Sim pool, wall-clock submission
+	// on Native) to completion. Sojourn − Span is time spent queued
+	// before any worker picked the job up; for a single-shot run
+	// Sojourn equals Span.
+	Sojourn units.Time
 	// EnergyJ is the exact integrated CPU energy over the span.
 	EnergyJ float64
 	// MeterJ is the energy the paper's 100 Hz DAQ rig would report.
@@ -62,8 +69,12 @@ type WorkerStats struct {
 // String renders a human-readable one-run summary.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s w=%d %s: span=%v energy=%.2fJ (meter %.2fJ) avg=%.1fW EDP=%.3f\n",
-		r.System, r.Mode, r.Workers, r.Sched, r.Span, r.EnergyJ, r.MeterJ, r.AvgPowerW, r.EDP)
+	fmt.Fprintf(&b, "%s %s w=%d %s: span=%v", r.System, r.Mode, r.Workers, r.Sched, r.Span)
+	if r.Sojourn != r.Span {
+		fmt.Fprintf(&b, " sojourn=%v", r.Sojourn)
+	}
+	fmt.Fprintf(&b, " energy=%.2fJ (meter %.2fJ) avg=%.1fW EDP=%.3f\n",
+		r.EnergyJ, r.MeterJ, r.AvgPowerW, r.EDP)
 	fmt.Fprintf(&b, "  tasks=%d spawns=%d steals=%d (failed %d) tempo-switches=%d dvfs-commits=%d parks=%d\n",
 		r.Tasks, r.Spawns, r.Steals, r.FailedSteals, r.TempoSwitches, r.DVFSCommits, r.Parks)
 	fmt.Fprintf(&b, "  residency: busy=%v spin=%v idle=%v slow-busy=%v", r.BusyTime, r.SpinTime, r.IdleTime, r.SlowBusyTime)

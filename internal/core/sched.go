@@ -27,6 +27,11 @@ type sched struct {
 	done     bool
 	finishAt units.Time
 
+	// pool is non-nil when the sched serves a stream of jobs injected
+	// at virtual arrival times instead of one root task (see pool.go).
+	// done then means "pool shut down" rather than "root completed".
+	pool *poolRun
+
 	// DVFS commit daemon state: per-domain pending commit time
 	// (0 = none), and the daemon process to wake on new requests.
 	dvfsCommits []units.Time
@@ -52,13 +57,22 @@ type sched struct {
 // (including Seed) produce identical reports.
 func Run(cfg Config, root wl.Task) Report {
 	cfg = cfg.withDefaults()
+	s := newSched(cfg)
+	s.root = root
+	s.start()
+	s.eng.Run()
+	return s.report
+}
+
+// newSched builds the simulated machine, meter and workers for a
+// validated config, without starting any engine process.
+func newSched(cfg Config) *sched {
 	s := &sched{
 		cfg:         cfg,
 		eng:         sim.NewEngine(),
 		mach:        cpu.NewMachine(cfg.Spec),
 		byCore:      map[*cpu.Core]*worker{},
 		prof:        tempo.NewProfiler(cfg.ProfileWindow),
-		root:        root,
 		freqBusy:    map[units.Freq]units.Time{},
 		dvfsCommits: make([]units.Time, cfg.Spec.Domains()),
 	}
@@ -73,25 +87,37 @@ func Run(cfg Config, root wl.Task) Report {
 		s.byCore[w.core] = w
 		w.core.State = cpu.IdleHalt
 	}
+	return s
+}
 
-	// Service daemons first, then workers, so worker 0's initial event
-	// lands after theirs at t=0 — irrelevant for correctness, fixed
-	// for determinism.
+// start registers the service daemons and workers with the engine.
+// Service daemons first, then workers, so worker 0's initial event
+// lands after theirs at t=0 — irrelevant for correctness, fixed
+// for determinism.
+func (s *sched) start() {
 	s.dvfsProc = s.eng.Go("dvfsd", s.dvfsLoop)
 	s.profProc = s.eng.Go("profiler", s.profLoop)
+	if s.pool != nil {
+		s.pool.intake = s.eng.Go("intake", s.intakeLoop)
+	}
 	for _, w := range s.workers {
 		w := w
 		w.proc = s.eng.Go(w.name(), w.run)
 	}
-	s.eng.Run()
-	return s.report
 }
 
 // touch integrates power and frequency residency up to the current
 // virtual time. It must be called before any mutation of machine
-// state (core states, domain frequencies).
+// state (core states, domain frequencies). In pool mode it also
+// partitions the interval's machine energy exactly among the jobs
+// whose tasks held busy workers through it (equal worker-time
+// weights, the Native backend's attribution rule applied per
+// integration interval): concurrent jobs split the machine's joules
+// with no double counting, and a solo job keeps the full draw, idle
+// cores included.
 func (s *sched) touch() {
 	now := s.eng.Now()
+	served := 0
 	if now > s.lastTouch && !s.frozen {
 		dt := now - s.lastTouch
 		maxF := s.cfg.Spec.MaxFreq()
@@ -107,6 +133,9 @@ func (s *sched) touch() {
 					s.slowBusy += dt
 					pw.SlowBusy += dt
 				}
+				if w.curJob != nil {
+					served++
+				}
 			case cpu.Spin:
 				s.spin += dt
 				pw.Spin += dt
@@ -120,7 +149,18 @@ func (s *sched) touch() {
 		}
 		s.lastTouch = now
 	}
+	e0 := s.met.Energy()
 	s.met.Advance(now)
+	if s.pool != nil && served > 0 {
+		if dJ := s.met.Energy() - e0; dJ > 0 {
+			share := dJ / float64(served)
+			for _, w := range s.workers {
+				if w.core.State == cpu.Busy && w.curJob != nil {
+					w.curJob.energyJ += share
+				}
+			}
+		}
+	}
 	if s.cfg.Observer != nil {
 		samples := s.met.Samples()
 		for _, smp := range samples[s.emittedSamples:] {
@@ -134,6 +174,25 @@ func (s *sched) touch() {
 // cancelled reports whether the run's cancellation hook has fired.
 func (s *sched) cancelled() bool {
 	return s.cfg.Cancelled != nil && s.cfg.Cancelled()
+}
+
+// taskCancelled reports whether work for job j must be skipped: the
+// run-wide hook for the single-shot path (j == nil), the job's own
+// failure or cancellation state in pool mode. A positive per-job poll
+// records that cancellation genuinely interrupted the job, so late
+// cancellations of already-finished work still report success.
+func (s *sched) taskCancelled(j *jobRun) bool {
+	if j == nil {
+		return s.cancelled()
+	}
+	if j.failErr != nil {
+		return true
+	}
+	if j.cancelled != nil && j.cancelled() {
+		j.interrupted = true
+		return true
+	}
+	return false
 }
 
 // emit streams one event to the configured observer. Callers stamp
@@ -158,11 +217,13 @@ func (s *sched) finish() {
 	e := s.met.Energy()
 	span := now
 	s.report = Report{
-		System:        s.cfg.Spec.Name,
-		Workers:       s.cfg.Workers,
-		Mode:          s.cfg.Mode,
-		Sched:         s.cfg.Scheduling,
-		Span:          span,
+		System:  s.cfg.Spec.Name,
+		Workers: s.cfg.Workers,
+		Mode:    s.cfg.Mode,
+		Sched:   s.cfg.Scheduling,
+		Span:    span,
+		Sojourn: span, // single-shot: execution starts at arrival
+
 		EnergyJ:       e,
 		MeterJ:        s.met.MeterEnergy(),
 		EDP:           meter.EDP(e, span),
@@ -320,12 +381,21 @@ func (s *sched) onFreqChange(d *cpu.Domain) {
 
 // profLoop is the online profiler of Section 3.2: every ProfilePeriod
 // it samples all deque sizes and retunes every worker's thresholds
-// from the rolling average.
+// from the rolling average. In pool mode it parks while no jobs are
+// active (the intake wakes it on arrival) so an idle pool generates no
+// events and the engine can quiesce.
 func (s *sched) profLoop(p *sim.Proc) {
 	if !s.cfg.Mode.Workload() {
 		return
 	}
 	for {
+		if s.pool != nil && len(s.pool.active) == 0 {
+			p.ParkUntilWake()
+			if s.done {
+				return
+			}
+			continue
+		}
 		p.Sleep(s.cfg.ProfilePeriod)
 		if s.done {
 			return

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 
 	"hermes/internal/cpu"
 	"hermes/internal/deque"
@@ -13,11 +14,15 @@ import (
 	"hermes/internal/wl"
 )
 
-// task is one deque item: a workload closure plus the fork-join block
-// it belongs to.
+// task is one deque item: a workload closure, the fork-join block it
+// belongs to, and (in pool mode) the job it is accounted against.
+// root marks a job's injected root task, whose completion completes
+// the job.
 type task struct {
-	fn  wl.Task
-	blk *block
+	fn   wl.Task
+	blk  *block
+	job  *jobRun
+	root bool
 }
 
 // block tracks one Ctx.Go fork-join block: how many of its pushed
@@ -54,6 +59,15 @@ type worker struct {
 	// knows to wake us for re-rating when our domain's clock changes.
 	inWork bool
 
+	// curJob is the job of the innermost in-flight runTask frame (a
+	// join runs other tasks — possibly other jobs' — inline): the job
+	// this worker's busy time, and so its share of the machine's power
+	// draw, belongs to right now. idlePark marks a worker halted in
+	// poolIdle, the only parked state a job arrival should wake.
+	// Pool-mode accounting.
+	curJob   *jobRun
+	idlePark bool
+
 	helpDepth int
 	backoff   units.Time
 }
@@ -73,11 +87,13 @@ func newWorker(s *sched, id int, c *cpu.Core) *worker {
 
 func (w *worker) name() string { return fmt.Sprintf("worker%d", w.id) }
 
-// run is the process body. Worker 0 executes the root task directly
-// (the program's main); all others enter the SCHEDULE loop.
+// run is the process body. In single-run mode worker 0 executes the
+// root task directly (the program's main); everyone else — and every
+// worker in pool mode, where roots arrive through the intake — enters
+// the SCHEDULE loop.
 func (w *worker) run(p *sim.Proc) {
 	w.proc = p
-	if w.id == 0 {
+	if w.s.pool == nil && w.id == 0 {
 		w.runTask(&task{fn: w.s.root})
 		w.s.finish()
 		return
@@ -86,7 +102,9 @@ func (w *worker) run(p *sim.Proc) {
 }
 
 // schedule is Algorithm 3.1: pop local work; failing that, relay
-// immediacy and unlink (out of work), then steal; failing that, yield.
+// immediacy and unlink (out of work), then steal; failing that, yield
+// — or, in pool mode with no job in the system, halt the core until
+// the intake delivers an arrival.
 func (w *worker) schedule() {
 	for {
 		if w.s.done {
@@ -97,13 +115,41 @@ func (w *worker) schedule() {
 			continue
 		}
 		w.outOfWork()
+		if t := w.s.poolTake(); t != nil {
+			w.backoff = 0
+			w.runTask(t)
+			continue
+		}
+		if w.poolIdle() {
+			continue
+		}
 		if t, ok := w.stealRound(); ok {
 			w.backoff = 0
 			w.runTask(t)
 			continue
 		}
+		if w.poolIdle() {
+			continue
+		}
 		w.yield()
 	}
+}
+
+// poolIdle parks the worker (core halted, no modeled draw) while the
+// pool has no active jobs, instead of burning virtual time probing an
+// empty machine. The intake wakes every worker when a job arrives.
+// Always false outside pool mode.
+func (w *worker) poolIdle() bool {
+	p := w.s.pool
+	if p == nil || w.s.done || len(p.active) > 0 {
+		return false
+	}
+	w.backoff = 0
+	w.setState(cpu.IdleHalt)
+	w.idlePark = true
+	w.proc.ParkUntilWake()
+	w.idlePark = false
+	return true
 }
 
 // setState transitions the hosting core's activity state, integrating
@@ -133,6 +179,9 @@ func (w *worker) popLocal() (*task, bool) {
 // PUSH): deque op cost, then the workload-sensitive growth check.
 func (w *worker) push(t *task) {
 	w.s.spawns++
+	if t.job != nil {
+		t.job.spawns++
+	}
 	w.dq.Push(t)
 	w.proc.Sleep(w.s.cfg.PushPopCost)
 	if w.s.cfg.Mode.Workload() {
@@ -243,12 +292,21 @@ func (w *worker) stealFrom(v *worker) (*task, bool) {
 	}
 	w.s.steals++
 	w.s.perWorker[w.id].Steals++
+	if t.job != nil {
+		t.job.steals++
+	}
 	w.s.emit(obs.Event{Kind: obs.Steal, Time: w.s.eng.Now(), Worker: w.id, Victim: v.id})
 	if w.s.cfg.Mode.Workpath() {
 		// Thief procrastination: one workpath level below the victim,
-		// inserted after it on the immediacy list.
+		// inserted after it on the immediacy list — unless the thief
+		// is already linked as someone's victim (it was stolen from
+		// mid-probe, e.g. a join holding an enclosing block's task),
+		// in which case it keeps its existing, more immediate slot
+		// (same guard as the native executor).
 		w.s.downFrom(w, v)
-		tempo.InsertThief(&w.node, &v.node)
+		if !w.node.InList() {
+			tempo.InsertThief(&w.node, &v.node)
+		}
 	} else if w.s.cfg.Mode.Workload() {
 		// Figure 4(b): the fresh thief's tempo comes from its own
 		// deque size — empty deque, lowest tier.
@@ -278,15 +336,29 @@ func (w *worker) yield() {
 
 // runTask executes one task: under dynamic scheduling the worker pays
 // the affinity set/reset cost around the WORK invocation
-// (Section 3.4); on completion the task's block is notified.
+// (Section 3.4); on completion the task's block is notified. In pool
+// mode the worker's curJob tracks the innermost frame's job while it
+// runs, so every power-integration interval attributes this worker's
+// busy time (and energy share) to the right job, and completing a
+// job's root task completes the job.
 func (w *worker) runTask(t *task) {
 	w.setState(cpu.Busy)
+	j := t.job
+	prevJob := w.curJob
+	w.setJob(j)
+	if j != nil && !j.started {
+		j.started = true
+		j.startAt = w.s.eng.Now()
+	}
 	if w.s.cfg.Scheduling == Dynamic {
 		w.proc.Sleep(2 * w.s.cfg.AffinityCost)
 	}
-	if !w.s.cancelled() {
+	if !w.s.taskCancelled(j) {
 		w.s.tasks++
-		t.fn(ctx{w})
+		if j != nil {
+			j.tasks++
+		}
+		w.runBody(t)
 	}
 	if blk := t.blk; blk != nil {
 		blk.pending--
@@ -296,6 +368,49 @@ func (w *worker) runTask(t *task) {
 			waiter.proc.Wake()
 		}
 	}
+	if t.root {
+		// Completion runs while curJob still points at j, so the final
+		// power-integration sliver inside jobDone's touch lands on the
+		// finishing job.
+		w.s.jobDone(j, false)
+	}
+	w.setJob(prevJob)
+}
+
+// setJob moves the worker's energy-attribution pointer. The core may
+// stay Busy straight across a job switch (setState would early-return,
+// leaving no integration boundary), so the interval run under the old
+// job must be integrated before the pointer moves — otherwise the
+// whole stretch since the last touch lands on whichever job is
+// current at the next one.
+func (w *worker) setJob(j *jobRun) {
+	if w.s.pool != nil && w.curJob != j {
+		w.s.touch()
+	}
+	w.curJob = j
+}
+
+// runBody invokes the task closure. In pool mode a panicking body
+// fails only its own job — the error surfaces from the job's
+// completion, the rest of the job drains like a cancellation, and
+// concurrent jobs on the shared machine are untouched (matching the
+// Native backend). The single-run path keeps the engine's trap
+// behaviour: the panic is re-raised from core.Run after teardown.
+func (w *worker) runBody(t *task) {
+	if t.job == nil {
+		t.fn(ctx{w: w})
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if sim.IsUnwind(p) {
+				panic(p) // engine teardown, not a task fault
+			}
+			t.job.fail(fmt.Errorf("core: job %d task panicked: %v\n%s",
+				t.job.id, p, debug.Stack()))
+		}
+	}()
+	t.fn(ctx{w: w, j: t.job})
 }
 
 // join completes a fork-join block: run the block's own pushed tasks
@@ -355,12 +470,16 @@ func (w *worker) join(blk *block) {
 }
 
 // parkOnBlock halts the core until the block's last task completes.
+// Re-parking after a spurious wake (pool arrivals, DVFS re-rating)
+// continues the same logical park and is not recounted.
 func (w *worker) parkOnBlock(blk *block) {
 	if blk.pending == 0 {
 		return
 	}
-	blk.waiter = w
-	w.s.parks++
+	if blk.waiter != w {
+		blk.waiter = w
+		w.s.parks++
+	}
 	w.setState(cpu.IdleHalt)
 	w.proc.ParkUntilWake()
 	w.setState(cpu.Busy)
@@ -408,8 +527,12 @@ func (w *worker) memWork(d units.Time) {
 
 // --- wl.Ctx implementation ------------------------------------------
 
-// ctx adapts a worker to the workload API.
-type ctx struct{ w *worker }
+// ctx adapts a worker to the workload API; j is the owning job in
+// pool mode (nil on the single-run path).
+type ctx struct {
+	w *worker
+	j *jobRun
+}
 
 var _ wl.Ctx = ctx{}
 
@@ -418,7 +541,7 @@ var _ wl.Ctx = ctx{}
 // inline, then join.
 func (c ctx) Go(tasks ...wl.Task) {
 	w := c.w
-	if w.s.cancelled() {
+	if w.s.taskCancelled(c.j) {
 		return // spawn boundary: a cancelled run forks no new work
 	}
 	switch len(tasks) {
@@ -430,7 +553,7 @@ func (c ctx) Go(tasks ...wl.Task) {
 	}
 	blk := &block{pending: len(tasks) - 1}
 	for i := len(tasks) - 1; i >= 1; i-- {
-		w.push(&task{fn: tasks[i], blk: blk})
+		w.push(&task{fn: tasks[i], blk: blk, job: c.j})
 	}
 	tasks[0](c)
 	w.join(blk)

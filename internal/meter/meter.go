@@ -94,6 +94,22 @@ func (m *Meter) MeterEnergy() float64 {
 // must not mutate).
 func (m *Meter) Samples() []Sample { return m.samples }
 
+// DropSamplesBefore discards recorded samples with T < t and returns
+// how many were dropped. Long-lived owners (the multi-job pool) call
+// it to keep the trace bounded by their in-flight window; energy
+// accumulators are unaffected. Note MeterEnergy only sums samples
+// still held.
+func (m *Meter) DropSamplesBefore(t units.Time) int {
+	k := 0
+	for k < len(m.samples) && m.samples[k].T < t {
+		k++
+	}
+	if k > 0 {
+		m.samples = m.samples[:copy(m.samples, m.samples[k:])]
+	}
+	return k
+}
+
 // Now returns the time of the last Advance.
 func (m *Meter) Now() units.Time { return m.last }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,10 +20,15 @@ import (
 	"hermes/internal/units"
 )
 
-// maxTrackedJobs bounds the in-flight job-start table: entries whose
-// JobDone event was dropped (async-sink overflow) are swept once they
-// fall this many job ids behind, instead of leaking.
+// maxTrackedJobs bounds the in-flight job-start and job-kind tables:
+// entries whose JobDone event was dropped (async-sink overflow) are
+// swept once they fall this many job ids behind, instead of leaking.
 const maxTrackedJobs = 8192
+
+// UnknownKind labels jobs never tagged with a workload kind (submitted
+// outside the serving path, or whose tag raced a very fast
+// completion).
+const UnknownKind = "unknown"
 
 // LatencyBuckets are the upper bounds (seconds) of the job-latency
 // histogram, exponential from 1 ms to 60 s; an implicit +Inf bucket
@@ -44,9 +50,18 @@ type Snapshot struct {
 	EnergyJ       float64 // machine cumulative joules (last sample)
 	PowerW        float64 // instantaneous watts (last sample)
 	JobEnergyJ    float64 // sum of per-job joules over completed jobs
-	LatencySum    float64 // seconds, over completed jobs
+	LatencySum    float64 // seconds, over completed jobs, all kinds
 	LatencyCount  int64
 	DroppedEvents uint64
+}
+
+// kindSeries is the per-workload-kind slice of the labeled series:
+// submissions and the sojourn histogram.
+type kindSeries struct {
+	submitted  int64
+	latSum     float64
+	latCount   int64
+	latBuckets []int64 // per-bucket; cumulative is computed at scrape
 }
 
 // Registry accumulates Observer events into scrapeable series. All
@@ -63,9 +78,16 @@ type Registry struct {
 	powerW        float64
 	jobEnergyJ    float64
 	jobStart      map[int64]units.Time // job id -> JobStart event time
-	latSum        float64
-	latCount      int64
-	latBuckets    []int64 // cumulative-at-scrape is computed; these are per-bucket
+	jobKind       map[int64]string     // job id -> workload kind tag
+	byKind        map[string]*kindSeries
+	// unknownDone remembers the latencies of jobs whose JobDone
+	// arrived before their kind tag (the tag races the fold on fast
+	// jobs): a late JobSubmitted migrates the observation from the
+	// "unknown" series to the real kind, so per-kind latency counts
+	// reconcile with submission counts.
+	unknownDone map[int64]float64
+	latSum      float64 // totals across kinds
+	latCount    int64
 
 	dropSource func() uint64 // optional: async sink's drop counter
 }
@@ -73,8 +95,67 @@ type Registry struct {
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		jobStart:   make(map[int64]units.Time),
-		latBuckets: make([]int64, len(LatencyBuckets)+1),
+		jobStart:    make(map[int64]units.Time),
+		jobKind:     make(map[int64]string),
+		byKind:      make(map[string]*kindSeries),
+		unknownDone: make(map[int64]float64),
+	}
+}
+
+// bucketFor returns the index of the latency bucket sec falls in
+// (len(LatencyBuckets) = the +Inf bucket).
+func bucketFor(sec float64) int {
+	for i, ub := range LatencyBuckets {
+		if sec <= ub {
+			return i
+		}
+	}
+	return len(LatencyBuckets)
+}
+
+// kind returns (creating if needed) the labeled series for one
+// workload kind; r.mu must be held.
+func (r *Registry) kind(k string) *kindSeries {
+	ks := r.byKind[k]
+	if ks == nil {
+		ks = &kindSeries{latBuckets: make([]int64, len(LatencyBuckets)+1)}
+		r.byKind[k] = ks
+	}
+	return ks
+}
+
+// JobSubmitted records one accepted submission of the given workload
+// kind (hermes_jobs_submitted_total{workload=...}) and tags job id so
+// its completion lands in that kind's latency histogram. Call it right
+// after the runtime accepts the job.
+func (r *Registry) JobSubmitted(id int64, kind string) {
+	if kind == "" {
+		kind = UnknownKind
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kind(kind).submitted++
+	if lat, raced := r.unknownDone[id]; raced && kind != UnknownKind {
+		// The job finished before this tag landed and was folded under
+		// "unknown": move the observation to its real kind.
+		delete(r.unknownDone, id)
+		u := r.kind(UnknownKind)
+		u.latSum -= lat
+		u.latCount--
+		u.latBuckets[bucketFor(lat)]--
+		ks := r.kind(kind)
+		ks.latSum += lat
+		ks.latCount++
+		ks.latBuckets[bucketFor(lat)]++
+		return
+	}
+	r.jobKind[id] = kind
+	if len(r.jobKind) > 2*maxTrackedJobs {
+		for old := range r.jobKind {
+			if old <= id-maxTrackedJobs {
+				delete(r.jobKind, old)
+			}
+		}
 	}
 }
 
@@ -119,27 +200,49 @@ func (r *Registry) Observe(e obs.Event) {
 	case obs.JobDone:
 		r.jobsDone++
 		r.jobEnergyJ += e.Energy
-		if start, ok := r.jobStart[e.Job]; ok {
+		// Prefer the sojourn the backend stamped on the event — it
+		// survives a dropped JobStart; fall back to start/done pairing
+		// for older event sources.
+		lat := e.Sojourn.Seconds()
+		start, paired := r.jobStart[e.Job]
+		if paired {
 			delete(r.jobStart, e.Job)
-			lat := (e.Time - start).Seconds()
-			if lat < 0 {
-				lat = 0
-			}
-			r.observeLatencyLocked(lat)
 		}
+		if e.Sojourn <= 0 {
+			if !paired {
+				return
+			}
+			lat = (e.Time - start).Seconds()
+		}
+		if lat < 0 {
+			lat = 0
+		}
+		kind := r.jobKind[e.Job]
+		if kind == "" {
+			kind = UnknownKind
+			// Remember the fold so a late kind tag can migrate it.
+			r.unknownDone[e.Job] = lat
+			if len(r.unknownDone) > 2*maxTrackedJobs {
+				for old := range r.unknownDone {
+					if old <= e.Job-maxTrackedJobs {
+						delete(r.unknownDone, old)
+					}
+				}
+			}
+		} else {
+			delete(r.jobKind, e.Job)
+		}
+		r.observeLatencyLocked(kind, lat)
 	}
 }
 
-func (r *Registry) observeLatencyLocked(sec float64) {
+func (r *Registry) observeLatencyLocked(kind string, sec float64) {
 	r.latSum += sec
 	r.latCount++
-	for i, ub := range LatencyBuckets {
-		if sec <= ub {
-			r.latBuckets[i]++
-			return
-		}
-	}
-	r.latBuckets[len(LatencyBuckets)]++
+	ks := r.kind(kind)
+	ks.latSum += sec
+	ks.latCount++
+	ks.latBuckets[bucketFor(sec)]++
 }
 
 // snapshotLocked copies the scalar series; r.mu must be held.
@@ -174,11 +277,33 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WritePrometheus renders every series in the Prometheus text
-// exposition format.
+// exposition format. Labeled families (submissions, the latency
+// histogram) are broken down by workload kind, in sorted order so
+// scrapes are stable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	snap := r.snapshotLocked()
-	buckets := append([]int64(nil), r.latBuckets...)
+	kinds := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		// Keep the labeled families present (zeroed) before the first
+		// job, so scrapers and series checks see a stable schema.
+		r.kind(UnknownKind)
+		kinds = append(kinds, UnknownKind)
+	}
+	sort.Strings(kinds)
+	series := make([]kindSeries, len(kinds))
+	for i, k := range kinds {
+		ks := r.byKind[k]
+		series[i] = kindSeries{
+			submitted:  ks.submitted,
+			latSum:     ks.latSum,
+			latCount:   ks.latCount,
+			latBuckets: append([]int64(nil), ks.latBuckets...),
+		}
+	}
 	dropSource := r.dropSource
 	r.mu.Unlock()
 	if dropSource != nil {
@@ -208,17 +333,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("hermes_job_energy_joules_total", "Sum of per-job attributed energy over completed jobs.", snap.JobEnergyJ)
 	counter("hermes_observer_dropped_events_total", "Observer events dropped by the async sink's bounded buffer.", snap.DroppedEvents)
 
-	p("# HELP hermes_job_latency_seconds Job sojourn time from start to completion.\n")
-	p("# TYPE hermes_job_latency_seconds histogram\n")
-	var cum int64
-	for i, ub := range LatencyBuckets {
-		cum += buckets[i]
-		p("hermes_job_latency_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+	p("# HELP hermes_jobs_submitted_total Accepted job submissions by workload kind.\n")
+	p("# TYPE hermes_jobs_submitted_total counter\n")
+	for i, k := range kinds {
+		p("hermes_jobs_submitted_total{workload=%q} %d\n", k, series[i].submitted)
 	}
-	cum += buckets[len(LatencyBuckets)]
-	p("hermes_job_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	p("hermes_job_latency_seconds_sum %v\n", snap.LatencySum)
-	p("hermes_job_latency_seconds_count %d\n", snap.LatencyCount)
+
+	p("# HELP hermes_job_latency_seconds Job sojourn time from submission to completion, by workload kind.\n")
+	p("# TYPE hermes_job_latency_seconds histogram\n")
+	for i, k := range kinds {
+		ks := series[i]
+		var cum int64
+		for b, ub := range LatencyBuckets {
+			cum += ks.latBuckets[b]
+			p("hermes_job_latency_seconds_bucket{workload=%q,le=%q} %d\n", k, formatBound(ub), cum)
+		}
+		cum += ks.latBuckets[len(LatencyBuckets)]
+		p("hermes_job_latency_seconds_bucket{workload=%q,le=\"+Inf\"} %d\n", k, cum)
+		p("hermes_job_latency_seconds_sum{workload=%q} %v\n", k, ks.latSum)
+		p("hermes_job_latency_seconds_count{workload=%q} %d\n", k, ks.latCount)
+	}
 	return err
 }
 
@@ -239,11 +373,15 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// ParseText extracts scalar series values from a Prometheus text
-// exposition — the minimal reader the load generator uses to diff
-// /metrics scrapes without a client dependency. Histogram buckets and
-// labeled series other than +Inf buckets are skipped. Returned map
-// keys are bare metric names.
+// ParseText extracts series values from a Prometheus text exposition —
+// the minimal reader the load generator uses to diff /metrics scrapes
+// without a client dependency. Unlabeled series map under their bare
+// name. Labeled series map under the full "name{labels}" string AND
+// fold (sum) into the bare name, so readers of the formerly-unlabeled
+// totals — hermes_job_latency_seconds_count, the per-kind submission
+// counter — keep working on labeled output. The bare-name fold is
+// meaningful for counter families; for bucketed series it sums across
+// le bounds and should be read via the full labeled keys instead.
 func ParseText(text string) map[string]float64 {
 	out := map[string]float64{}
 	for _, line := range strings.Split(text, "\n") {
@@ -251,12 +389,19 @@ func ParseText(text string) map[string]float64 {
 			continue
 		}
 		name, val, ok := strings.Cut(line, " ")
-		if !ok || strings.ContainsRune(name, '{') {
-			continue // labeled series: the scalar readers don't need them
+		if !ok {
+			continue
 		}
-		if v, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		if bare, _, labeled := strings.Cut(name, "{"); labeled {
 			out[name] = v
+			out[bare] += v
+			continue
 		}
+		out[name] = v
 	}
 	return out
 }

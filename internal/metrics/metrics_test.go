@@ -42,7 +42,8 @@ func TestRegistryFoldsEvents(t *testing.T) {
 
 func TestLatencyHistogramBuckets(t *testing.T) {
 	r := New()
-	// 3 jobs: 2 ms, 30 ms, 2 s.
+	// 3 untagged jobs: 2 ms, 30 ms, 2 s — they land in the "unknown"
+	// workload label.
 	lat := []units.Time{2 * units.Millisecond, 30 * units.Millisecond, 2 * units.Second}
 	for i, l := range lat {
 		id := int64(i + 1)
@@ -57,15 +58,64 @@ func TestLatencyHistogramBuckets(t *testing.T) {
 	}
 	text := b.String()
 	for _, want := range []string{
-		`hermes_job_latency_seconds_bucket{le="0.0025"} 1`,
-		`hermes_job_latency_seconds_bucket{le="0.05"} 2`,
-		`hermes_job_latency_seconds_bucket{le="2.5"} 3`,
-		`hermes_job_latency_seconds_bucket{le="+Inf"} 3`,
-		`hermes_job_latency_seconds_count 3`,
+		`hermes_job_latency_seconds_bucket{workload="unknown",le="0.0025"} 1`,
+		`hermes_job_latency_seconds_bucket{workload="unknown",le="0.05"} 2`,
+		`hermes_job_latency_seconds_bucket{workload="unknown",le="2.5"} 3`,
+		`hermes_job_latency_seconds_bucket{workload="unknown",le="+Inf"} 3`,
+		`hermes_job_latency_seconds_count{workload="unknown"} 3`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape missing %q\n%s", want, text)
 		}
+	}
+	// The bare-name fold keeps pre-label readers working.
+	if vals := ParseText(text); vals["hermes_job_latency_seconds_count"] != 3 {
+		t.Errorf("bare-name count fold = %g, want 3", vals["hermes_job_latency_seconds_count"])
+	}
+}
+
+// TestPerKindLatencyLabels pins the per-workload breakdown: tagged
+// jobs land in their own kind's histogram and submission counter,
+// with sojourn taken from the JobDone event itself.
+func TestPerKindLatencyLabels(t *testing.T) {
+	r := New()
+	r.JobSubmitted(1, "fib")
+	r.JobSubmitted(2, "matmul")
+	r.JobSubmitted(3, "fib")
+	feed(r,
+		obs.Event{Kind: obs.JobStart, Job: 1, Time: 0},
+		obs.Event{Kind: obs.JobStart, Job: 2, Time: 0},
+		obs.Event{Kind: obs.JobStart, Job: 3, Time: 0},
+		obs.Event{Kind: obs.JobDone, Job: 1, Time: 5 * units.Second, Sojourn: 2 * units.Millisecond},
+		obs.Event{Kind: obs.JobDone, Job: 2, Time: 5 * units.Second, Sojourn: 30 * units.Millisecond},
+		obs.Event{Kind: obs.JobDone, Job: 3, Time: 5 * units.Second, Sojourn: 40 * units.Millisecond},
+	)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`hermes_jobs_submitted_total{workload="fib"} 2`,
+		`hermes_jobs_submitted_total{workload="matmul"} 1`,
+		`hermes_job_latency_seconds_count{workload="fib"} 2`,
+		`hermes_job_latency_seconds_count{workload="matmul"} 1`,
+		`hermes_job_latency_seconds_bucket{workload="fib",le="0.0025"} 1`,
+		`hermes_job_latency_seconds_bucket{workload="matmul",le="0.05"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+	// Sojourn carried on the event wins over Time-pairing (Time here
+	// would be a wild 5 s); the fib job's 2 ms proves it.
+	s := r.Snapshot()
+	if s.LatencySum > 0.1 {
+		t.Errorf("latency folded from Time pairing, not Sojourn: sum=%g", s.LatencySum)
+	}
+	vals := ParseText(text)
+	if vals["hermes_jobs_submitted_total"] != 3 {
+		t.Errorf("bare-name submitted fold = %g, want 3", vals["hermes_jobs_submitted_total"])
 	}
 }
 
@@ -112,8 +162,47 @@ func TestParseTextRoundTrip(t *testing.T) {
 	if vals["hermes_energy_joules"] != 3.5 {
 		t.Fatalf("parsed energy = %g, want 3.5", vals["hermes_energy_joules"])
 	}
-	if _, ok := vals["hermes_job_latency_seconds_bucket"]; ok {
-		t.Fatal("labeled bucket series should be skipped by the scalar parser")
+}
+
+// TestLateKindTagMigratesLatency: a job whose JobDone races ahead of
+// its kind tag is first folded under "unknown", then migrated to its
+// real kind when the tag lands — per-kind latency counts reconcile
+// with submission counts even for jobs faster than the tagging path.
+func TestLateKindTagMigratesLatency(t *testing.T) {
+	r := New()
+	feed(r,
+		obs.Event{Kind: obs.JobStart, Job: 1, Time: 0},
+		obs.Event{Kind: obs.JobDone, Job: 1, Sojourn: 2 * units.Millisecond},
+	)
+	r.JobSubmitted(1, "fib")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`hermes_job_latency_seconds_count{workload="fib"} 1`,
+		`hermes_job_latency_seconds_count{workload="unknown"} 0`,
+		`hermes_job_latency_seconds_bucket{workload="fib",le="0.0025"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestParseTextLabeledSeries pins the labeled-output contract: full
+// "name{labels}" keys are exposed and fold into the bare name.
+func TestParseTextLabeledSeries(t *testing.T) {
+	vals := ParseText("a_total{workload=\"fib\"} 2\na_total{workload=\"ticks\"} 3\nb_gauge 1.5\n")
+	if vals[`a_total{workload="fib"}`] != 2 || vals[`a_total{workload="ticks"}`] != 3 {
+		t.Fatalf("labeled keys wrong: %v", vals)
+	}
+	if vals["a_total"] != 5 {
+		t.Fatalf("bare-name fold = %g, want 5", vals["a_total"])
+	}
+	if vals["b_gauge"] != 1.5 {
+		t.Fatalf("unlabeled series = %g, want 1.5", vals["b_gauge"])
 	}
 }
 

@@ -55,14 +55,13 @@ func (k Kind) String() string {
 // are zero (Worker and Victim use -1 for "no worker").
 type Event struct {
 	Kind Kind
-	// Time is the event's timestamp. On the native backend it is
-	// wall-clock time since executor start — one monotonic clock
-	// across all jobs. On the simulator backend it is virtual time
-	// within the current job's run: each job gets a fresh engine, so
-	// Time restarts at 0 per job and is not globally ordered across a
-	// multi-job stream (use the JobStart/JobDone framing to segment
-	// it; those framing events themselves carry Time 0 and the job's
-	// final span respectively).
+	// Time is the event's timestamp: one monotonic clock across all
+	// jobs on either backend. On the native backend it is wall-clock
+	// time since executor start; on the simulator backend it is the
+	// persistent engine's virtual time, globally ordered across the
+	// multi-job stream (JobStart carries the job's virtual arrival,
+	// JobDone its completion time). Only the single-shot core.Run
+	// path still measures from its own run's time zero.
 	Time units.Time
 	// Worker is the acting worker id, -1 if not worker-scoped.
 	Worker int
@@ -75,6 +74,12 @@ type Event struct {
 	// Energy is cumulative joules (EnergySample) or the job's total
 	// (JobDone).
 	Energy float64
+	// Sojourn is the job's enqueue-to-completion latency (JobDone
+	// only): virtual on the simulator, wall-clock on the native
+	// backend. It is carried explicitly so latency telemetry does not
+	// depend on pairing JobDone with a JobStart that a lossy sink may
+	// have dropped.
+	Sojourn units.Time
 	// Job is the owning job id (JobStart, JobDone), 0 otherwise.
 	Job int64
 }

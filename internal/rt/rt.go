@@ -95,6 +95,13 @@ type jobState struct {
 	// finished); only then does the job complete with ctx's error.
 	interrupted           atomic.Bool
 	tasks, spawns, steals atomic.Int64
+	// execStart is the monotonic offset (nanoseconds since executor
+	// start, 0 = never picked up) when a worker first ran one of the
+	// job's tasks: Span measures from here, Sojourn from submission,
+	// so Sojourn − Span is queueing delay — the same contract as the
+	// Sim pool. Monotonic offsets keep Span immune to wall-clock
+	// steps.
+	execStart atomic.Int64
 	// busyNS accumulates the wall-clock nanoseconds workers spent
 	// serving this job — per-task self time, exclusive of nested
 	// tasks a join runs inline — the weight for sharing the pool's
@@ -405,7 +412,8 @@ func (e *Exec) watch(js *jobState) {
 	end := e.snapshot()
 	r := e.buildReport(js, end)
 	e.active.Add(-1)
-	e.emit(obs.Event{Kind: obs.JobDone, Job: js.id, Worker: -1, Victim: -1, Energy: r.EnergyJ})
+	e.emit(obs.Event{Kind: obs.JobDone, Job: js.id, Worker: -1, Victim: -1,
+		Energy: r.EnergyJ, Sojourn: r.Sojourn})
 	err := js.taskErr()
 	if err == nil && js.interrupted.Load() {
 		err = js.ctx.Err()
@@ -468,7 +476,16 @@ func (e *Exec) snapshot() poolSnap {
 // claiming the whole machine (a job running alone keeps the full
 // draw, idle cores included).
 func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
-	span := units.Time(time.Since(js.start).Nanoseconds()) * units.Nanosecond
+	now := time.Now()
+	sojourn := units.Time(now.Sub(js.start).Nanoseconds()) * units.Nanosecond
+	var span units.Time
+	if es := js.execStart.Load(); es != 0 {
+		// Both readings are monotonic offsets from executor start, so
+		// a wall-clock step cannot skew (or negate) the span.
+		if d := now.Sub(e.start).Nanoseconds() - es; d > 0 {
+			span = units.Time(d) * units.Nanosecond
+		}
+	}
 	machineJ := end.joules - js.snap.joules
 	energy := machineJ
 	if poolBusy := end.busy - js.snap.busy; poolBusy > 0 {
@@ -483,6 +500,7 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 		Mode:          e.cfg.Mode,
 		Sched:         e.cfg.Scheduling,
 		Span:          span,
+		Sojourn:       sojourn,
 		EnergyJ:       energy,
 		MeterJ:        energy, // no modeled DAQ on the host
 		EDP:           meter.EDP(energy, span),
@@ -499,8 +517,10 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 		FreqBusy:      map[units.Freq]units.Time{},
 		PerWorker:     make([]core.WorkerStats, len(end.perWorker)),
 	}
-	if span > 0 {
-		r.AvgPowerW = energy / span.Seconds()
+	if sojourn > 0 {
+		// Average over the job's whole stay: the delta accumulators
+		// behind the report cover [submission, completion].
+		r.AvgPowerW = energy / sojourn.Seconds()
 	}
 	for f, t := range end.freqBusy {
 		if d := t - js.snap.freqBusy[f]; d > 0 {
@@ -907,6 +927,9 @@ func (w *worker) runTask(t *task) {
 	// runTask frames (run inline by join — possibly serving other
 	// jobs) consumed.
 	frameStart := time.Now()
+	if js != nil {
+		js.execStart.CompareAndSwap(0, frameStart.Sub(w.e.start).Nanoseconds())
+	}
 	childBefore := w.childNS
 	defer func() {
 		total := time.Since(frameStart).Nanoseconds()

@@ -25,6 +25,7 @@ import (
 // the heap and are skipped lazily.
 type Event struct {
 	t        units.Time
+	prio     int8
 	seq      uint64
 	p        *Proc
 	canceled bool
@@ -40,6 +41,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -97,6 +101,15 @@ type Engine struct {
 	// instead of crashing the process from an engine goroutine.
 	trap    any
 	trapped bool
+
+	// tick, if set, runs at the top of every Run iteration, and idle
+	// runs when the event queue is empty with processes still alive
+	// (idle returning true retries instead of declaring deadlock).
+	// Both execute on the engine goroutine with no process current, so
+	// they may call Inject to hand external stimuli (job arrivals,
+	// shutdown) into the deterministic event order.
+	tick func()
+	idle func() bool
 }
 
 // abortSignal unwinds a parked process during trap cleanup.
@@ -118,6 +131,52 @@ func (t *TaskPanic) Error() string {
 // NewEngine returns an engine at virtual time zero.
 func NewEngine() *Engine {
 	return &Engine{control: make(chan ctrl)}
+}
+
+// SetTick installs fn to run at the top of every Run iteration, before
+// the next event is dispatched. Use it to poll external (non-virtual)
+// inputs without blocking event processing.
+func (e *Engine) SetTick(fn func()) { e.tick = fn }
+
+// SetIdle installs fn to run when the event queue is empty while
+// processes are still alive — the quiescent state a persistent
+// simulation reaches between stimuli. fn returning true resumes the
+// loop (it is expected to have scheduled new events, typically via
+// Inject); false falls through to the deadlock panic.
+func (e *Engine) SetIdle(fn func() bool) { e.idle = fn }
+
+// Inject schedules an out-of-band wake for p at virtual time t (never
+// before now), replacing any later pending wake. It may only be called
+// when no process is running — from the tick/idle hooks or between
+// runs. Injected wakes carry front priority: at equal virtual time
+// they dispatch before ordinary events, so the order of the simulation
+// cannot depend on *when* in wall-clock time the stimulus was handed
+// in, only on its virtual timestamp.
+func (e *Engine) Inject(p *Proc, t units.Time) {
+	if e.current != nil {
+		panic("sim: Inject while a process is running")
+	}
+	if p.state == stateDone {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	if p.pending != nil {
+		if p.pending.t <= t {
+			return // already waking at or before t
+		}
+		p.pending.Cancel()
+	}
+	p.pending = e.scheduleAt(t, -1, p)
+}
+
+// IsUnwind reports whether a recovered panic value is the engine's
+// internal teardown signal. Recover blocks inside process bodies must
+// re-raise it untouched so trap cleanup can finish unwinding.
+func IsUnwind(v any) bool {
+	_, ok := v.(abortSignal)
+	return ok
 }
 
 // Now returns the current virtual time. Only the running process (or
@@ -157,11 +216,17 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 }
 
 func (e *Engine) schedule(t units.Time, p *Proc) *Event {
+	return e.scheduleAt(t, 0, p)
+}
+
+// scheduleAt enqueues a wake with an explicit tie-break priority; the
+// priority must be fixed before the heap insert or ordering breaks.
+func (e *Engine) scheduleAt(t units.Time, prio int8, p *Proc) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	ev := &Event{t: t, seq: e.seq, p: p}
+	ev := &Event{t: t, prio: prio, seq: e.seq, p: p}
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -183,8 +248,14 @@ func (e *Engine) Run() {
 				p.pending = nil
 			}
 		} else {
+			if e.tick != nil {
+				e.tick()
+			}
 			ev := e.next()
 			if ev == nil {
+				if e.idle != nil && e.idle() {
+					continue
+				}
 				panic("sim: deadlock — " + e.describeStall())
 			}
 			if ev.t < e.now {

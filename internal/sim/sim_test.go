@@ -220,3 +220,89 @@ func TestEventCancel(t *testing.T) {
 		t.Fatal("cancel did not mark event")
 	}
 }
+
+// TestIdleHookFeedsQuiescentEngine: a parked process plus an empty
+// event queue triggers the idle hook instead of the deadlock panic;
+// the hook injects a future wake and the simulation proceeds at that
+// virtual time.
+func TestIdleHookFeedsQuiescentEngine(t *testing.T) {
+	e := NewEngine()
+	var woke units.Time
+	p := e.Go("sleeper", func(p *Proc) {
+		woke = p.ParkUntilWake()
+	})
+	fed := false
+	e.SetIdle(func() bool {
+		if fed {
+			return false // second quiescence: let the engine drain
+		}
+		fed = true
+		e.Inject(p, 3*units.Millisecond)
+		return true
+	})
+	e.Run()
+	if woke != 3*units.Millisecond {
+		t.Fatalf("woke at %v, want 3ms", woke)
+	}
+}
+
+// TestInjectFrontPriority: an injected wake at a virtual time where an
+// ordinary event is already scheduled dispatches first, regardless of
+// how late (in wall-clock terms) it was injected — the determinism
+// property external arrivals rely on.
+func TestInjectFrontPriority(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("timer", func(p *Proc) {
+		p.Sleep(units.Millisecond)
+		order = append(order, "timer")
+	})
+	parked := false
+	target := e.Go("injected", func(p *Proc) {
+		parked = true
+		p.ParkUntilWake()
+		order = append(order, "injected")
+	})
+	armed := false
+	e.SetTick(func() {
+		if parked && !armed {
+			armed = true
+			e.Inject(target, units.Millisecond) // same instant as the timer, injected later
+		}
+	})
+	e.Run()
+	if strings.Join(order, ",") != "injected,timer" {
+		t.Fatalf("order = %v, want injected before timer at the same instant", order)
+	}
+}
+
+// TestInjectKeepsEarlierWake: injecting a later wake than the one
+// already pending must not postpone the process.
+func TestInjectKeepsEarlierWake(t *testing.T) {
+	e := NewEngine()
+	var woke units.Time
+	p := e.Go("sleeper", func(p *Proc) {
+		woke = p.Sleep(units.Microsecond)
+	})
+	armed := false
+	e.SetTick(func() {
+		if !armed {
+			armed = true
+			e.Inject(p, units.Millisecond) // later than the pending 1µs timer
+		}
+	})
+	e.Run()
+	if woke != units.Microsecond {
+		t.Fatalf("woke at %v; a later Inject displaced an earlier wake", woke)
+	}
+}
+
+// TestIsUnwind distinguishes the teardown signal from user panics.
+func TestIsUnwind(t *testing.T) {
+	if !IsUnwind(abortSignal{}) {
+		t.Fatal("abortSignal not recognized")
+	}
+	if IsUnwind("boom") || IsUnwind(nil) {
+		t.Fatal("user values misclassified as unwind")
+	}
+}

@@ -18,9 +18,11 @@ type Backend uint8
 const (
 	// Sim is the deterministic discrete-event simulator
 	// (internal/core): virtual time, modeled DVFS latency, calibrated
-	// power model and 100 Hz meter. Jobs run one at a time in
-	// submission order so every report stays reproducible — the
-	// measurement instrument.
+	// power model and 100 Hz meter. Concurrent jobs multiplex over the
+	// simulated machine as virtual-time arrivals — sharing workers,
+	// deques, tempo and DVFS state — and runs are byte-reproducible
+	// for a fixed config, seed and arrival trace (see SubmitTrace):
+	// the measurement instrument, now for open systems too.
 	Sim Backend = iota
 	// Native is the real-concurrency executor (internal/rt): actual
 	// goroutine workers multiplex every submitted job over one shared
@@ -37,6 +39,34 @@ func (b Backend) String() string {
 		return "native"
 	}
 	return "invalid"
+}
+
+// ParseBackend maps a backend name ("sim" or "native") onto the
+// Backend value — the one parser for every CLI flag.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "sim":
+		return Sim, nil
+	case "native":
+		return Native, nil
+	}
+	return 0, fmt.Errorf("hermes: unknown backend %q (want sim or native)", s)
+}
+
+// ParseMode maps a tempo-mode name onto the Mode value ("unified" and
+// "hermes" are synonyms) — the one parser for every CLI flag.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "baseline":
+		return Baseline, nil
+	case "workpath":
+		return WorkpathOnly, nil
+	case "workload":
+		return WorkloadOnly, nil
+	case "unified", "hermes":
+		return Unified, nil
+	}
+	return 0, fmt.Errorf("hermes: unknown mode %q (want baseline, workpath, workload or unified)", s)
 }
 
 // Job is the handle for one submitted root task: Wait blocks for the
@@ -137,7 +167,11 @@ func New(opts ...Option) (*Runtime, error) {
 	r := &Runtime{cfg: cfg, backend: s.backend, sink: sink}
 	switch s.backend {
 	case Sim:
-		r.exec = newSimExec(cfg)
+		ex, err := newSimExec(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		r.exec = ex
 	case Native:
 		// Hand the backend the pre-validation config: an unset worker
 		// count defaults to one per clock domain on the simulator but
@@ -162,13 +196,14 @@ func (r *Runtime) Config() Config { return r.cfg }
 func (r *Runtime) Backend() Backend { return r.backend }
 
 // Submit enqueues root as a new job and returns its handle; Job.Wait
-// returns the per-job Report. On the Native backend concurrent jobs
-// multiplex over the shared worker pool (a saturated intake queue
-// blocks Submit until space frees or ctx fires — backpressure); on
-// the Sim backend they run deterministically in submission order.
-// Cancelling ctx stops the job's task execution at spawn and steal
-// boundaries and completes it with ctx's error; a job whose work
-// completed before cancellation took effect reports success.
+// returns the per-job Report. Concurrent jobs multiplex over the
+// shared machine on both backends: real goroutine workers on Native
+// (a saturated intake queue blocks Submit until space frees or ctx
+// fires — backpressure), the simulated machine on Sim, where the job
+// arrives at the engine's current virtual time. Cancelling ctx stops
+// the job's task execution at spawn and steal boundaries and
+// completes it with ctx's error; a job whose work completed before
+// cancellation took effect reports success.
 func (r *Runtime) Submit(ctx context.Context, root Task) (*Job, error) {
 	j, err := r.exec.Submit(ctx, root)
 	switch {
@@ -178,6 +213,32 @@ func (r *Runtime) Submit(ctx context.Context, root Task) (*Job, error) {
 		err = ErrNilTask
 	}
 	return j, err
+}
+
+// Arrival is one entry of a virtual-time arrival trace: Task enters
+// the system at virtual time At (negative means "on receipt"; a time
+// the virtual clock has already passed is clamped to now).
+type Arrival struct {
+	At   Time
+	Task Task
+}
+
+// SubmitTrace schedules a whole batch of jobs at explicit virtual
+// arrival times on the Sim backend, atomically, and returns their
+// handles in trace order. This is the reproducible open-system entry
+// point: submitted to a quiescent Runtime, a fixed config, seed and
+// trace make every per-job Report and the observer event sequence
+// byte-identical run after run, while the jobs genuinely overlap —
+// contending for workers, steals and DVFS state — inside the
+// simulated machine. ctx cancels every job in the trace. The Native
+// backend has no virtual clock to schedule against and returns an
+// error.
+func (r *Runtime) SubmitTrace(ctx context.Context, arrivals []Arrival) ([]*Job, error) {
+	se, ok := r.exec.(*simExec)
+	if !ok {
+		return nil, fmt.Errorf("hermes: SubmitTrace needs the Sim backend (runtime is %v)", r.backend)
+	}
+	return se.SubmitTrace(ctx, arrivals)
 }
 
 // Run submits root and waits for its report: the submit-and-wait
@@ -217,126 +278,90 @@ func (r *Runtime) EventsDropped() uint64 {
 
 // --- simulator backend ----------------------------------------------
 
-// simExec serves jobs through the discrete-event simulator. Jobs run
-// strictly one at a time in submission order: the simulator is the
-// measurement instrument, and serializing jobs keeps every report
-// deterministic for a fixed config and seed regardless of how
-// submissions interleave.
+// simExec serves jobs through the persistent discrete-event pool
+// (core.Pool): concurrently submitted jobs share the simulated
+// machine's workers, deques, tempo controller and DVFS state as
+// virtual-time arrivals, with per-job reports carrying virtual sojourn
+// and worker-time-weighted energy attribution. Determinism holds per
+// arrival trace: a fixed config, seed and set of (virtual arrival
+// time, job) pairs reproduces byte-identical reports — SubmitTrace
+// fixes the arrival times explicitly; plain Submit assigns "now",
+// which depends on wall-clock submission timing.
 type simExec struct {
-	cfg core.Config
+	pool *core.Pool
 
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*simJob
-	closed bool
 	nextID int64
-	wg     sync.WaitGroup
 }
 
-type simJob struct {
-	ctx  context.Context
-	root Task
-	j    *Job
-}
-
-func newSimExec(cfg core.Config) *simExec {
-	e := &simExec{cfg: cfg}
-	e.cond = sync.NewCond(&e.mu)
-	e.wg.Add(1)
-	go e.runLoop()
-	return e
+func newSimExec(cfg core.Config) (*simExec, error) {
+	pool, err := core.NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &simExec{pool: pool}, nil
 }
 
 func (e *simExec) Submit(ctx context.Context, root Task) (*Job, error) {
-	if root == nil {
-		return nil, ErrNilTask
+	jobs, err := e.submit(ctx, []Arrival{{At: -1, Task: root}})
+	if err != nil {
+		return nil, err
+	}
+	return jobs[0], nil
+}
+
+// SubmitTrace schedules a batch of jobs at explicit virtual arrival
+// times, atomically: the whole trace enters the engine in one step.
+func (e *simExec) SubmitTrace(ctx context.Context, arrivals []Arrival) ([]*Job, error) {
+	return e.submit(ctx, arrivals)
+}
+
+func (e *simExec) submit(ctx context.Context, arrivals []Arrival) ([]*Job, error) {
+	for _, a := range arrivals {
+		if a.Task == nil {
+			return nil, ErrNilTask
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	jobs := make([]*Job, len(arrivals))
+	reqs := make([]core.JobRequest, len(arrivals))
+	// Id assignment and the pool handoff share e.mu so a failed
+	// submission can roll its ids back: job ids stay gapless, which
+	// lets id-watermark consumers (hermes-serve's pruned detection)
+	// trust that every id at or below the watermark really ran.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return nil, ErrClosed
+	for i, a := range arrivals {
+		e.nextID++
+		j := job.New(e.nextID)
+		jobs[i] = j
+		reqs[i] = core.JobRequest{
+			ID:        j.ID(),
+			At:        a.At,
+			Root:      a.Task,
+			Cancelled: func() bool { return ctx.Err() != nil },
+			Done: func(rep core.Report, err error) {
+				if errors.Is(err, core.ErrInterrupted) {
+					err = ctx.Err()
+				}
+				j.Finish(rep, err)
+			},
+		}
 	}
-	e.nextID++
-	sj := &simJob{ctx: ctx, root: root, j: job.New(e.nextID)}
-	e.queue = append(e.queue, sj)
-	e.cond.Signal()
-	return sj.j, nil
+	err := e.pool.Submit(reqs...)
+	switch {
+	case errors.Is(err, core.ErrPoolClosed):
+		err = ErrClosed
+	case errors.Is(err, core.ErrNilRoot):
+		err = ErrNilTask
+	}
+	if err != nil {
+		e.nextID -= int64(len(arrivals))
+		return nil, err
+	}
+	return jobs, nil
 }
 
-func (e *simExec) Close() error {
-	e.mu.Lock()
-	if !e.closed {
-		e.closed = true
-		e.cond.Signal()
-	}
-	e.mu.Unlock()
-	e.wg.Wait()
-	return nil
-}
-
-// runLoop drains the queue FIFO; Close lets already-submitted jobs
-// finish before the loop exits.
-func (e *simExec) runLoop() {
-	defer e.wg.Done()
-	for {
-		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if len(e.queue) == 0 {
-			e.mu.Unlock()
-			return
-		}
-		sj := e.queue[0]
-		e.queue = e.queue[1:]
-		e.mu.Unlock()
-		e.runJob(sj)
-	}
-}
-
-func (e *simExec) runJob(sj *simJob) {
-	defer func() {
-		if p := recover(); p != nil {
-			// Keep the observer's JobStart/JobDone framing intact even
-			// when the job dies by panic.
-			e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1})
-			sj.j.Finish(core.Report{}, fmt.Errorf("hermes: job %d panicked: %v", sj.j.ID(), p))
-		}
-	}()
-	e.emit(obs.Event{Kind: obs.JobStart, Job: sj.j.ID(), Worker: -1, Victim: -1})
-	if err := sj.ctx.Err(); err != nil {
-		e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1})
-		sj.j.Finish(core.Report{}, err)
-		return
-	}
-	cfg := e.cfg
-	// Track whether cancellation actually interrupted the run: every
-	// poll returning true skips work, so a job that finishes without a
-	// positive poll completed fully and reports success even if its
-	// context expires at the finish line.
-	interrupted := false
-	cfg.Cancelled = func() bool {
-		if sj.ctx.Err() != nil {
-			interrupted = true
-			return true
-		}
-		return false
-	}
-	rep := core.Run(cfg, sj.root)
-	e.emit(obs.Event{Kind: obs.JobDone, Job: sj.j.ID(), Worker: -1, Victim: -1,
-		Time: rep.Span, Energy: rep.EnergyJ})
-	var err error
-	if interrupted {
-		err = sj.ctx.Err()
-	}
-	sj.j.Finish(rep, err)
-}
-
-func (e *simExec) emit(ev obs.Event) {
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.Observe(ev)
-	}
-}
+func (e *simExec) Close() error { return e.pool.Close() }
