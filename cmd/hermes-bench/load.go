@@ -452,6 +452,12 @@ func (t *httpTarget) finish() (float64, uint64, error) {
 // writeSummary prints the summary and optionally writes it as JSON.
 func writeSummary(sum loadSummary, jsonPath string) error {
 	fmt.Println(sum.String())
+	return writeJSON(sum, jsonPath)
+}
+
+// writeJSON writes any summary value as indented JSON, if a path is
+// given.
+func writeJSON(sum any, jsonPath string) error {
 	if jsonPath == "" {
 		return nil
 	}

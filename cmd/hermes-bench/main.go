@@ -23,6 +23,14 @@
 // JSON summaries:
 //
 //	hermes-bench -load -backend sim -rps 150 -duration 2s -seed 7 -json sim-load.json
+//
+// Trajectory mode (-trajectory) snapshots the Native hot path for the
+// cross-PR perf record: spawn/join and fib tasks/sec with allocation
+// rates, deque micro-numbers (THE vs Chase–Lev), and joules/request
+// from the fixed deterministic sim load. CI uploads the JSON as
+// BENCH_native.json so future PRs can diff it:
+//
+//	hermes-bench -trajectory -json BENCH_native.json
 package main
 
 import (
@@ -46,23 +54,42 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files")
 		verbose = flag.Bool("v", false, "log each run")
 
-		load     = flag.Bool("load", false, "run the open-loop Poisson load generator instead of figures")
-		rps      = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
-		duration = flag.Duration("duration", 10*time.Second, "load: arrival window")
-		url      = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
-		workload = flag.String("workload", "ticks", "load: synthetic workload kind (fib, matmul, ticks)")
-		n        = flag.Int("n", 0, "load: workload size (0 = workload default)")
-		grain    = flag.Int("grain", 0, "load: task granularity (0 = workload default)")
-		work     = flag.Int64("work", 0, "load: cycles per unit (0 = workload default)")
-		memfrac  = flag.Float64("memfrac", 0, "load: memory-bound fraction of work")
-		backend  = flag.String("backend", "native", "load in-process: backend (native or sim)")
-		mode     = flag.String("mode", "unified", "load in-process: tempo mode")
-		workers  = flag.Int("workers", 0, "load in-process: worker count (0 = default)")
-		buffer   = flag.Int("buffer", 1<<16, "load in-process: async observer buffer size")
-		seed     = flag.Int64("seed", 1, "load: arrival-process seed")
-		jsonPath = flag.String("json", "", "load: write the JSON summary to this path")
+		load       = flag.Bool("load", false, "run the open-loop Poisson load generator instead of figures")
+		trajectory = flag.Bool("trajectory", false, "run the hot-path perf-trajectory snapshot (BENCH_native.json)")
+		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
+		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
+		url        = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
+		workload   = flag.String("workload", "ticks", "load: synthetic workload kind (fib, matmul, ticks)")
+		n          = flag.Int("n", 0, "load: workload size (0 = workload default)")
+		grain      = flag.Int("grain", 0, "load: task granularity (0 = workload default)")
+		work       = flag.Int64("work", 0, "load: cycles per unit (0 = workload default)")
+		memfrac    = flag.Float64("memfrac", 0, "load: memory-bound fraction of work")
+		backend    = flag.String("backend", "native", "load in-process: backend (native or sim)")
+		mode       = flag.String("mode", "unified", "load in-process: tempo mode")
+		workers    = flag.Int("workers", 0, "load in-process: worker count (0 = default)")
+		buffer     = flag.Int("buffer", 1<<16, "load in-process: async observer buffer size")
+		seed       = flag.Int64("seed", 1, "load: arrival-process seed")
+		jsonPath   = flag.String("json", "", "load: write the JSON summary to this path")
 	)
 	flag.Parse()
+
+	if *trajectory {
+		sum, err := runTrajectory(*verbose)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trajectory: spawn/join %.0f tasks/s (%.2f B/op, %.4f allocs/op), "+
+			"fib %.0f tasks/s, deque push/pop the=%.1fns chaselev=%.1fns, sim %.4f J/req\n",
+			sum.SpawnJoin.TasksPerSec, sum.SpawnJoin.BytesPerOp, sum.SpawnJoin.AllocsPerOp,
+			sum.Fib.TasksPerSec, sum.DequePushPopNs.THE, sum.DequePushPopNs.ChaseLev,
+			sum.SimLoad.JoulesPerRequest)
+		if err := writeJSON(sum, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *load {
 		sum, err := runLoad(loadOpts{

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hermes"
+	"hermes/internal/deque"
+	"hermes/internal/hotload"
+	"hermes/internal/synth"
+)
+
+// The trajectory mode (-trajectory) is the perf snapshot CI records
+// across PRs as BENCH_native.json: Native hot-path throughput
+// (tasks/sec and allocation rate for spawn/join and fib), deque
+// micro-numbers (THE vs Chase–Lev), and joules/request from the fixed
+// deterministic virtual-time sim load. Absolute numbers vary with the
+// host, so the artifact is for diffing trends commit to commit, not
+// for cross-machine comparison.
+
+// trajectorySummary is the JSON artifact schema.
+type trajectorySummary struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Deque      string `json:"deque"`
+
+	SpawnJoin struct {
+		Workers     int     `json:"workers"`
+		Ops         int     `json:"ops"`
+		TasksPerSec float64 `json:"tasks_per_sec"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"native_spawn_join"`
+
+	Fib struct {
+		N           int     `json:"n"`
+		Cutoff      int     `json:"cutoff"`
+		Tasks       int64   `json:"tasks"`
+		TasksPerSec float64 `json:"tasks_per_sec"`
+	} `json:"native_fib"`
+
+	DequePushPopNs struct {
+		THE      float64 `json:"the"`
+		ChaseLev float64 `json:"chaselev"`
+	} `json:"deque_push_pop_ns"`
+
+	SimLoad loadSummary `json:"sim_load"`
+}
+
+// runTrajectory measures the trajectory snapshot. Every workload is
+// fixed (sizes, seeds, modes), so two runs differ only by host noise
+// — and the sim-load section, being virtual-time, not at all.
+func runTrajectory(verbose bool) (trajectorySummary, error) {
+	var sum trajectorySummary
+	sum.GoMaxProcs = runtime.GOMAXPROCS(0)
+	sum.Deque = hermes.DequeChaseLev.String()
+
+	log := func(format string, args ...any) {
+		if verbose {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	// Native spawn/join: one warm job, then a timed job of fixed ops
+	// with allocation accounting around it. The workload bodies come
+	// from internal/hotload — the same ones the go-test benchmarks
+	// run — so this JSON and the bench output stay comparable.
+	const sjOps = 1_000_000
+	r, err := hermes.New(hermes.WithBackend(hermes.Native),
+		hermes.WithWorkers(hotload.Workers), hermes.WithMode(hermes.Unified))
+	if err != nil {
+		return sum, err
+	}
+	spawnJob := func(ops int) (hermes.Report, error) {
+		return r.Run(context.Background(), hotload.SpawnJoinLoop(ops))
+	}
+	if _, err := spawnJob(10_000); err != nil { // warm free lists
+		r.Close()
+		return sum, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	startSJ := time.Now()
+	rep, err := spawnJob(sjOps)
+	elapsed := time.Since(startSJ)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		r.Close()
+		return sum, err
+	}
+	sum.SpawnJoin.Workers = hotload.Workers
+	sum.SpawnJoin.Ops = sjOps
+	sum.SpawnJoin.TasksPerSec = float64(rep.Tasks) / elapsed.Seconds()
+	sum.SpawnJoin.NsPerOp = float64(elapsed.Nanoseconds()) / sjOps
+	sum.SpawnJoin.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / sjOps
+	sum.SpawnJoin.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / sjOps
+	log("spawn/join: %.0f tasks/s, %.1f ns/op, %.2f B/op, %.4f allocs/op",
+		sum.SpawnJoin.TasksPerSec, sum.SpawnJoin.NsPerOp,
+		sum.SpawnJoin.BytesPerOp, sum.SpawnJoin.AllocsPerOp)
+
+	// Native fib: the fine-grained stress whose task-boundary rate
+	// exposes anything left on the hot path. A few jobs back to back
+	// smooth out per-job setup noise.
+	const fibJobs = 8
+	want := hotload.SerialFib(hotload.FibN)
+	startFib := time.Now()
+	var fibTasks int64
+	for i := 0; i < fibJobs; i++ {
+		var out int
+		frep, err := r.Run(context.Background(), hotload.Fib(hotload.FibN, hotload.FibCutoff, &out))
+		if err != nil {
+			r.Close()
+			return sum, err
+		}
+		if out != want {
+			r.Close()
+			return sum, fmt.Errorf("trajectory: fib(%d) = %d, want %d", hotload.FibN, out, want)
+		}
+		fibTasks += frep.Tasks
+	}
+	fibElapsed := time.Since(startFib)
+	r.Close()
+	sum.Fib.N = hotload.FibN
+	sum.Fib.Cutoff = hotload.FibCutoff
+	sum.Fib.Tasks = fibTasks
+	sum.Fib.TasksPerSec = float64(fibTasks) / fibElapsed.Seconds()
+	log("fib(%d)x%d: %d tasks, %.0f tasks/s", hotload.FibN, fibJobs, fibTasks, sum.Fib.TasksPerSec)
+
+	// Deque micro: uncontended owner push/pop cycle per implementation.
+	sum.DequePushPopNs.THE = dequePushPopNs(deque.New[*int](64))
+	sum.DequePushPopNs.ChaseLev = dequePushPopNs(deque.NewChaseLev[int](64))
+	log("deque push/pop: the=%.1f ns, chaselev=%.1f ns",
+		sum.DequePushPopNs.THE, sum.DequePushPopNs.ChaseLev)
+
+	// Fixed deterministic sim load: joules/request from the
+	// virtual-time engine — byte-stable across runs, so any diff in
+	// this section is a real scheduling/energy change.
+	sl, err := runLoad(loadOpts{
+		RPS:      150,
+		Duration: 2 * time.Second,
+		Spec:     synth.Spec{Kind: "ticks"},
+		Seed:     7,
+		Backend:  "sim",
+		Mode:     "unified",
+		Buffer:   1 << 16,
+	})
+	if err != nil {
+		return sum, err
+	}
+	sum.SimLoad = sl
+	log("sim load: %.4f joules/req, p95 %.2f ms", sl.JoulesPerRequest, sl.P95SojournMS)
+	return sum, nil
+}
+
+// dequePushPopNs times the owner's push/pop cycle.
+func dequePushPopNs(d deque.Queue[*int]) float64 {
+	const ops = 2_000_000
+	v := 42
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		d.Push(&v)
+		d.Pop()
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops
+}

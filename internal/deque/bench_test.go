@@ -1,0 +1,80 @@
+package deque
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchImpls mirrors impls() for the micro-benchmarks, so every
+// benchmark reports THE vs Chase–Lev side by side.
+func benchImpls() []struct {
+	name string
+	mk   func(n int) Queue[*int]
+} {
+	return []struct {
+		name string
+		mk   func(n int) Queue[*int]
+	}{
+		{"the", func(n int) Queue[*int] { return New[*int](n) }},
+		{"chaselev", func(n int) Queue[*int] { return NewChaseLev[int](n) }},
+	}
+}
+
+// BenchmarkDequePushPop measures the owner's uncontended PUSH+POP
+// cycle — the spawn/join fast path of Algorithm 3.1.
+func BenchmarkDequePushPop(b *testing.B) {
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			d := impl.mk(64)
+			v := 42
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Pop()
+			}
+		})
+	}
+}
+
+// BenchmarkDequeStealContended measures the owner's PUSH+POP cycle
+// while thieves hammer the head from other goroutines — the regime
+// where the THE protocol's steal mutex serializes the pool and the
+// lock-free deque should not.
+func BenchmarkDequeStealContended(b *testing.B) {
+	const thieves = 3
+	for _, impl := range benchImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			d := impl.mk(64)
+			v := 42
+			var stop atomic.Bool
+			doneCh := make(chan int64, thieves)
+			for i := 0; i < thieves; i++ {
+				go func() {
+					var stolen int64
+					for !stop.Load() {
+						if _, ok := d.Steal(); ok {
+							stolen++
+						}
+					}
+					doneCh <- stolen
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Push(&v)
+				d.Pop()
+			}
+			b.StopTimer()
+			stop.Store(true)
+			var stolen int64
+			for i := 0; i < thieves; i++ {
+				stolen += <-doneCh
+			}
+			if b.N > 0 {
+				b.ReportMetric(float64(stolen)/float64(b.N), "steals/op")
+			}
+		})
+	}
+}

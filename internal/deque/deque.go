@@ -17,6 +17,28 @@ import (
 	"sync/atomic"
 )
 
+// Queue is the work-stealing deque contract the schedulers program
+// against: owner-only Push/Pop at the tail, thief-side Steal at the
+// head, snapshot Size, and cumulative operation counts. Two
+// implementations satisfy it — the THE-protocol Deque below (the
+// paper-fidelity reference, a mutex on every steal) and the lock-free
+// ChaseLev in chaselev.go — selected per run by core.Config.
+type Queue[E any] interface {
+	// Push appends item at the tail. Owner only.
+	Push(item E)
+	// Pop removes and returns the tail item. Owner only.
+	Pop() (E, bool)
+	// Steal removes and returns the head item. Any non-owner.
+	Steal() (E, bool)
+	// Size reports the current item count (snapshot semantics).
+	Size() int
+	// Empty reports whether the deque currently holds no items.
+	Empty() bool
+	// Stats reports cumulative pushes, successful pops, successful
+	// steals and failed steal attempts.
+	Stats() (pushes, pops, steals, failedSteals int64)
+}
+
 // Deque is a work-stealing deque of items of type E.
 //
 // Concurrency contract: Push and Pop may be called only by the owning

@@ -1,0 +1,66 @@
+// Package hotload defines the fixed scheduler hot-path workloads the
+// perf trajectory is measured on. Both the go-test benchmarks
+// (native_bench_test.go) and the hermes-bench -trajectory snapshot
+// drive exactly these bodies, so their numbers stay comparable across
+// PRs — one source of truth for what "spawn/join" and "fib" mean in
+// BENCH_native.json and bench output alike.
+package hotload
+
+import "hermes/internal/wl"
+
+// Trajectory workload fixpoints: 8 workers is the scale the perf
+// record tracks, fib 21/12 the fine-grained task tree it stresses.
+const (
+	Workers   = 8
+	FibN      = 21
+	FibCutoff = 12
+)
+
+// SpawnJoinLoop returns a root task performing ops two-way fork-join
+// blocks with no-op bodies: the steady-state PUSH + POP/STEAL + join
+// cycle with everything else stripped away. The pair slice is hoisted
+// so the workload measures the runtime's allocations, not the
+// caller's variadic.
+func SpawnJoinLoop(ops int) wl.Task {
+	noop := func(wl.Ctx) {}
+	pair := []wl.Task{noop, noop}
+	return func(c wl.Ctx) {
+		for i := 0; i < ops; i++ {
+			c.Go(pair...)
+		}
+	}
+}
+
+// Fib returns a root task computing fib(n) as a binary spawn tree
+// with a serial cutoff — the paper's fine-grained stress whose
+// task-boundary rate exposes any lock or allocation on the scheduler
+// hot path. The result lands in *out for validation against
+// SerialFib.
+func Fib(n, cutoff int, out *int) wl.Task {
+	var fib func(c wl.Ctx, n int, out *int)
+	fib = func(c wl.Ctx, n int, out *int) {
+		if n < cutoff {
+			*out = SerialFib(n)
+			return
+		}
+		var a, b int
+		c.Go(
+			func(c wl.Ctx) { fib(c, n-1, &a) },
+			func(c wl.Ctx) { fib(c, n-2, &b) },
+		)
+		*out = a + b
+	}
+	return func(c wl.Ctx) { fib(c, n, out) }
+}
+
+// SerialFib is the sequential reference.
+func SerialFib(n int) int {
+	if n < 2 {
+		return n
+	}
+	a, b := 0, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}

@@ -1,5 +1,5 @@
 // Package rt is the real-concurrency executor: the same HERMES
-// scheduling algorithms as internal/core — THE-protocol deques, thief
+// scheduling algorithms as internal/core — work-stealing deques, thief
 // procrastination, immediacy relays, workload thresholds — run by
 // actual goroutine workers in parallel on the host.
 //
@@ -13,6 +13,19 @@
 // Config and Report types: all four tempo modes run here, and reports
 // carry the same residency and scheduler statistics, measured over
 // wall-clock time.
+//
+// The task-boundary hot path is lock-free and allocation-free in
+// steady state. The deque defaults to the Chase–Lev implementation
+// (CAS only on steals and the owner's last-item race; core.DequeTHE
+// selects the paper-fidelity THE protocol instead); tasks and
+// fork-join blocks come from per-worker free lists; and accounting
+// never takes a global lock — each worker publishes its (state, freq,
+// since) in a packed atomic word and accumulates an exact per-worker
+// residency matrix (see acct.go), from which readers fold machine
+// energy on demand: at job boundaries, at the paper's 100 Hz DAQ
+// cadence in meterLoop, and on Close. Workload-tempo threshold checks
+// pre-filter through lock-free published bounds, so PUSH and POP take
+// tempoMu only when a tier crossing is actually possible.
 //
 // Since the host exposes neither per-domain DVFS nor an energy meter,
 // tempo control here is emulated and accounted rather than physically
@@ -66,18 +79,60 @@ var ErrNilTask = errors.New("rt: nil root task")
 // its context) once this many root jobs await pickup.
 const injectCap = 4096
 
+// freeListCap bounds each worker's task and block free lists: enough
+// to keep steady-state spawn/join allocation-free at any realistic
+// fork-join depth without pinning unbounded garbage.
+const freeListCap = 256
+
 // task is one deque item: a workload closure, the fork-join block it
-// belongs to, and the job it is accounted against.
+// belongs to, and the job it is accounted against. Tasks are pooled
+// per worker: a worker that executes a task (its own or stolen)
+// recycles it into its own free list.
 type task struct {
 	fn  wl.Task
 	blk *block
 	job *jobState
 }
 
-// block tracks one fork-join block's outstanding tasks.
+// block tracks one fork-join block's outstanding tasks. done is a
+// one-token buffered channel: the decrement that reaches zero sends
+// the token (never blocking), and the joiner waits on it. Token
+// semantics (instead of close) let blocks be pooled: a stale token
+// from a previous generation is drained on reuse, and a late sender
+// racing the recycle at worst produces one spurious wake, which the
+// join loop's pending re-check absorbs.
+//
+// waiting gates the token: the common case — the owner drains its own
+// block without ever sleeping — must not pay a channel operation per
+// task. A joiner announces itself (waiting=true) before re-checking
+// pending and sleeping; a decrementer that reaches zero signals only
+// if a waiter is announced. Sequentially consistent atomics make the
+// handshake lossless: either the decrementer sees the announcement
+// and signals, or the joiner's re-check sees pending==0 and never
+// sleeps.
 type block struct {
 	pending atomic.Int64
-	done    chan struct{} // closed when pending reaches zero
+	waiting atomic.Bool
+	done    chan struct{}
+}
+
+// signal delivers the block's completion token, non-blocking.
+func (b *block) signal() {
+	select {
+	case b.done <- struct{}{}:
+	default:
+	}
+}
+
+// jobWCounts is one worker's private slice of a job's statistics:
+// plain fields, written only by that worker, folded into the report
+// after the job's fork-join structure has fully drained (the block
+// pending-counter chain orders every write before the fold). Padded
+// so two workers serving the same job never share a cache line.
+type jobWCounts struct {
+	tasks, spawns, steals int64
+	busyNS                int64
+	_                     [32]byte
 }
 
 // jobState is the executor-side record of one submitted job.
@@ -93,8 +148,7 @@ type jobState struct {
 	// interrupted records that cancellation actually preempted work
 	// (as opposed to the context merely expiring after the job
 	// finished); only then does the job complete with ctx's error.
-	interrupted           atomic.Bool
-	tasks, spawns, steals atomic.Int64
+	interrupted atomic.Bool
 	// execStart is the monotonic offset (nanoseconds since executor
 	// start, 0 = never picked up) when a worker first ran one of the
 	// job's tasks: Span measures from here, Sojourn from submission,
@@ -102,11 +156,10 @@ type jobState struct {
 	// Sim pool. Monotonic offsets keep Span immune to wall-clock
 	// steps.
 	execStart atomic.Int64
-	// busyNS accumulates the wall-clock nanoseconds workers spent
-	// serving this job — per-task self time, exclusive of nested
-	// tasks a join runs inline — the weight for sharing the pool's
-	// energy among concurrent jobs.
-	busyNS atomic.Int64
+	// perW holds each worker's exact task/spawn/steal counts and
+	// busy-nanoseconds for this job (the energy-attribution weight),
+	// written lock-free by the owning worker.
+	perW []jobWCounts
 
 	failMu  sync.Mutex
 	failErr error // first task panic, reported from Wait
@@ -143,32 +196,55 @@ type poolSnap struct {
 }
 
 type worker struct {
-	e    *Exec
-	id   int
-	core *cpu.Core
-	dq   *deque.Deque[*task]
-	rng  rngState
+	e   *Exec
+	id  int
+	dq  deque.Queue[*task]
+	rng rngState
 
 	node    tempo.Node[*worker]
 	th      *tempo.Thresholds
 	wpLevel int
 	backoff time.Duration
 
-	// lastState shadows core.State so the owner can skip the meterMu
-	// round-trip when the state is unchanged (the common
-	// pop→run→pop chain stays Busy throughout). Only the owning
-	// worker writes its core's state, so the shadow needs no lock.
+	// lastState shadows the published core state so the owner can
+	// skip the accounting transition when the state is unchanged (the
+	// common pop→run→pop chain stays Busy throughout). Only the
+	// owning worker changes its state, so the shadow needs no lock.
 	lastState cpu.CoreState
-	// curFreq publishes the worker's domain frequency for lock-free
-	// reads on the Work hot path. Workers sit on distinct clock
-	// domains, so only retuneLocked (under meterMu, for this worker or
-	// a victim) writes it.
+	// curFreq publishes the worker's tempo frequency for lock-free
+	// reads on the Work hot path. Only retuneLocked (under tempoMu,
+	// for this worker or a victim) writes it.
 	curFreq atomic.Int64
-	// childNS counts wall-clock nanoseconds consumed by completed
-	// runTask frames nested below the currently-running one, so each
-	// frame can attribute its exclusive self time to its job (a join
-	// runs other tasks — possibly other jobs' — inline). Owner-only.
-	childNS int64
+	// reqFreq is the last frequency retuneLocked committed; tempoMu
+	// guards it.
+	reqFreq units.Freq
+	// jsSinceNS marks (in monotonic ns since executor start) when the
+	// worker last switched its accounting context (cur.js): the
+	// contiguous interval since then is the current job's busy time.
+	// Flushed by switchJob at job switches and top-level frame exits
+	// only, so a run of same-job tasks costs zero clock reads at task
+	// boundaries. Owner-only.
+	jsSinceNS int64
+
+	// acct is the worker's lock-free accounting cell (see acct.go).
+	acct acct
+
+	// freeTasks and freeBlocks recycle deque items and fork-join
+	// blocks: owner-only, capacity-bounded, never grown past their
+	// preallocated capacity.
+	freeTasks  []*task
+	freeBlocks []*block
+	// idleTimer is the reusable backoff timer for idleWait — one
+	// timer per worker, Reset per cycle, instead of an allocation on
+	// every idle loop.
+	idleTimer *time.Timer
+
+	// cur is the worker's reusable task context: runTask points
+	// cur.js at the running job (save/restore around nested frames)
+	// and hands tasks curIface, so entering a task never boxes a new
+	// interface value.
+	cur      wctx
+	curIface wl.Ctx
 }
 
 // rngState is a tiny splitmix64 PRNG: victim selection needs speed,
@@ -189,7 +265,6 @@ func (r *rngState) intn(n int) int { return int(r.next() % uint64(n)) }
 // jobs. All methods are safe for concurrent use.
 type Exec struct {
 	cfg   core.Config
-	mach  *cpu.Machine
 	model *power.Model
 
 	workers []*worker
@@ -197,30 +272,25 @@ type Exec struct {
 	closeCh chan struct{}
 	start   time.Time
 
+	// watts[state-1][fi] is the modeled per-core draw for a worker in
+	// that state at tempo frequency cfg.Freqs[fi]; baseWatts is the
+	// constant machine floor (uncore per package plus the power-gated
+	// draw of cores no worker occupies). Together with the per-worker
+	// residency matrices they yield the exact integrated machine
+	// energy without any global meter lock.
+	watts     [3][acctFreqCap]float64
+	baseWatts float64
+
 	// tempoMu serializes all tempo state (immediacy list, levels,
-	// thresholds, frequency votes). Tempo events are rare relative to
-	// task execution, so one lock is cheap and keeps the cross-worker
-	// list mutations safe.
+	// thresholds, frequency votes). The hot path pre-filters through
+	// the thresholds' lock-free published bounds, so this lock is
+	// taken only when a tier crossing is actually possible, on steals
+	// (already slow path), and by the profiler.
 	tempoMu sync.Mutex
 	prof    *tempo.Profiler
 
-	// meterMu guards the machine state (core states, domain
-	// frequencies) and the piecewise residency/energy integration over
-	// wall time. Lock order: tempoMu (if held) before meterMu.
-	meterMu   sync.Mutex
-	lastTouch time.Time
-	joules    float64
-	busy      units.Time
-	spin      units.Time
-	idle      units.Time
-	slowBusy  units.Time
-	freqBusy  map[units.Freq]units.Time
-	perWorker []core.WorkerStats
-
-	tasks, spawns, steals       atomic.Int64
-	failedSteals, tempoSwitches atomic.Int64
-	dvfsCommits                 atomic.Int64
-	workerSteals                []atomic.Int64
+	tempoSwitches atomic.Int64
+	dvfsCommits   atomic.Int64
 
 	active atomic.Int64 // jobs submitted and not yet completed
 	nextID atomic.Int64
@@ -229,6 +299,19 @@ type Exec struct {
 	closed   bool
 	jobWG    sync.WaitGroup
 	workerWG sync.WaitGroup
+}
+
+// nowNS is the executor's monotonic clock: nanoseconds since start.
+func (e *Exec) nowNS() int64 { return time.Since(e.start).Nanoseconds() }
+
+// newDeque instantiates the configured deque implementation;
+// DequeAuto resolves to Chase–Lev here (real thieves contend, so the
+// steal path must not serialize the pool).
+func newDeque(kind core.DequeKind) deque.Queue[*task] {
+	if kind == core.DequeTHE {
+		return deque.New[*task](64)
+	}
+	return deque.NewChaseLev[task](64)
 }
 
 // NewExec validates cfg, starts the worker pool and returns the
@@ -252,37 +335,50 @@ func NewExec(cfg core.Config) (*Exec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.Freqs) > acctFreqCap {
+		return nil, fmt.Errorf("rt: at most %d tempo frequencies supported, got %d", acctFreqCap, len(cfg.Freqs))
+	}
 	// Workers are always statically pinned here; reflect that in the
 	// config (and so in every report) rather than echoing a Dynamic
-	// request this executor does not model.
+	// request this executor does not model. Likewise resolve the
+	// deque choice so Config reports what actually runs.
 	cfg.Scheduling = core.Static
-	e := &Exec{
-		cfg:       cfg,
-		mach:      cpu.NewMachine(cfg.Spec),
-		model:     power.NewModel(cfg.Spec),
-		injectq:   make(chan *task, injectCap),
-		closeCh:   make(chan struct{}),
-		start:     time.Now(),
-		lastTouch: time.Now(),
-		prof:      tempo.NewProfiler(cfg.ProfileWindow),
-		freqBusy:  map[units.Freq]units.Time{},
-		perWorker: make([]core.WorkerStats, cfg.Workers),
+	if cfg.Deque == core.DequeAuto {
+		cfg.Deque = core.DequeChaseLev
 	}
-	e.workerSteals = make([]atomic.Int64, cfg.Workers)
-	cores := e.mach.DistinctDomainCores(cfg.Workers)
+	e := &Exec{
+		cfg:     cfg,
+		model:   power.NewModel(cfg.Spec),
+		injectq: make(chan *task, injectCap),
+		closeCh: make(chan struct{}),
+		start:   time.Now(),
+		prof:    tempo.NewProfiler(cfg.ProfileWindow),
+	}
+	for st := cpu.IdleHalt; st <= cpu.Busy; st++ {
+		for fi, f := range cfg.Freqs {
+			e.watts[st-1][fi] = e.model.CoreWatts(st, f)
+		}
+	}
+	p := e.model.P
+	e.baseWatts = p.UncoreW*float64(cfg.Spec.Packages) +
+		p.UnusedW*float64(cfg.Spec.Cores-cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
-			e:         e,
-			id:        i,
-			core:      cores[i],
-			dq:        deque.New[*task](64),
-			rng:       rngState(cfg.Seed*7_919 + int64(i) + 1),
-			th:        tempo.NewThresholds(cfg.K, cfg.InitialAvgDeque),
-			lastState: cpu.IdleHalt,
+			e:          e,
+			id:         i,
+			dq:         newDeque(cfg.Deque),
+			rng:        rngState(cfg.Seed*7_919 + int64(i) + 1),
+			th:         tempo.NewThresholds(cfg.K, cfg.InitialAvgDeque),
+			lastState:  cpu.IdleHalt,
+			reqFreq:    cfg.Freqs[0],
+			freeTasks:  make([]*task, 0, freeListCap),
+			freeBlocks: make([]*block, 0, freeListCap),
 		}
 		w.node.Val = w
-		w.core.State = cpu.IdleHalt
-		w.curFreq.Store(int64(w.core.Dom.Freq()))
+		w.cur.w = w
+		w.curIface = &w.cur
+		w.curFreq.Store(int64(cfg.Freqs[0]))
+		w.acct.word.Store(packAcct(cpu.IdleHalt, 0, 0))
 		e.workers = append(e.workers, w)
 	}
 	for _, w := range e.workers {
@@ -339,18 +435,22 @@ func (e *Exec) Submit(ctx context.Context, root wl.Task) (*job.Job, error) {
 	js := &jobState{
 		id:      e.nextID.Add(1),
 		ctx:     ctx,
-		rootBlk: &block{done: make(chan struct{})},
+		rootBlk: &block{done: make(chan struct{}, 1)},
+		perW:    make([]jobWCounts, len(e.workers)),
 	}
 	js.j = job.New(js.id)
+	// watch always waits on the root block, so announce its waiter up
+	// front: the final decrement will signal the token.
+	js.rootBlk.waiting.Store(true)
 	js.rootBlk.pending.Store(1)
 	e.active.Add(1)
 	e.jobWG.Add(1)
 	e.submitMu.Unlock()
 
-	// Baseline snapshot outside submitMu: it takes meterMu and copies
-	// per-worker stats, and concurrent submitters need not serialize
-	// behind that. The job is not yet enqueued, so the baseline still
-	// precedes all of its own activity.
+	// Baseline snapshot outside submitMu: it folds per-worker cells,
+	// and concurrent submitters need not serialize behind that. The
+	// job is not yet enqueued, so the baseline still precedes all of
+	// its own activity.
 	js.snap = e.snapshot()
 	js.start = time.Now()
 	e.emit(obs.Event{Kind: obs.JobStart, Job: js.id, Worker: -1, Victim: -1})
@@ -361,11 +461,11 @@ func (e *Exec) Submit(ctx context.Context, root wl.Task) (*job.Job, error) {
 		// Cancelled before any worker picked the job up: it never
 		// entered the pool, so drain its root block directly. This is
 		// a genuine interruption even though watch may find the block
-		// already closed.
+		// already signalled.
 		js.interrupted.Store(true)
 		js.cancelled.Store(true)
 		if js.rootBlk.pending.Add(-1) == 0 {
-			close(js.rootBlk.done)
+			js.rootBlk.signal()
 		}
 	}
 	return js.j, nil
@@ -387,7 +487,6 @@ func (e *Exec) Close() error {
 	// Concurrent or repeated closers block here until the workers
 	// (released by the first closer) have all exited.
 	e.workerWG.Wait()
-	e.mutate(nil) // final integration
 	return nil
 }
 
@@ -437,44 +536,103 @@ func Run(cfg core.Config, root wl.Task) (core.Report, error) {
 	return j.Wait()
 }
 
-// snapshot copies the pool accumulators consistently (integrating up
-// to now first).
+// snapshot folds every worker's accounting cell into a consistent
+// copy of the pool accumulators: residency by state and frequency,
+// per-worker stats, and the machine's exact integrated energy. No
+// lock is taken — each cell is read through its seqlock — so
+// snapshots never stall the pool.
 func (e *Exec) snapshot() poolSnap {
-	e.meterMu.Lock()
-	e.integrateLocked(time.Now())
 	s := poolSnap{
-		joules:        e.joules,
-		busy:          e.busy,
-		spin:          e.spin,
-		idle:          e.idle,
-		slow:          e.slowBusy,
-		freqBusy:      make(map[units.Freq]units.Time, len(e.freqBusy)),
-		perWorker:     make([]core.WorkerStats, len(e.perWorker)),
-		failedSteals:  e.failedSteals.Load(),
+		freqBusy:      map[units.Freq]units.Time{},
+		perWorker:     make([]core.WorkerStats, len(e.workers)),
 		tempoSwitches: e.tempoSwitches.Load(),
 		dvfsCommits:   e.dvfsCommits.Load(),
 	}
-	for f, t := range e.freqBusy {
-		s.freqBusy[f] = t
+	nf := len(e.cfg.Freqs)
+	var coreJ float64
+	for i, w := range e.workers {
+		f := e.foldAcct(&w.acct)
+		coreJ += e.cellJoules(&f)
+		pw := &s.perWorker[i]
+		for st := 0; st < 3; st++ {
+			row := st * acctFreqCap
+			for fi := 0; fi < nf; fi++ {
+				ns := f.res[row+fi]
+				if ns == 0 {
+					continue
+				}
+				dt := units.Time(ns) * units.Nanosecond
+				switch cpu.CoreState(st + 1) {
+				case cpu.Busy:
+					s.busy += dt
+					s.freqBusy[e.cfg.Freqs[fi]] += dt
+					pw.Busy += dt
+					if fi != 0 {
+						s.slow += dt
+						pw.SlowBusy += dt
+					}
+				case cpu.Spin:
+					s.spin += dt
+					pw.Spin += dt
+					if fi != 0 {
+						pw.SlowSpin += dt
+					}
+				case cpu.IdleHalt:
+					s.idle += dt
+					pw.Idle += dt
+				}
+			}
+		}
+		pw.Steals = f.steals
+		s.failedSteals += f.failedSteals
 	}
-	copy(s.perWorker, e.perWorker)
-	for i := range s.perWorker {
-		s.perWorker[i].Steals = e.workerSteals[i].Load()
-	}
-	e.meterMu.Unlock()
+	s.joules = coreJ + e.baseWatts*float64(e.nowNS())*1e-9
 	return s
+}
+
+// cellJoules integrates one folded cell's residency matrix against
+// the watts table — the single definition of the per-core energy
+// fold, shared by snapshot and powerNow so the per-job reports and
+// the observer's EnergySample stream cannot drift apart.
+func (e *Exec) cellJoules(f *acctFold) float64 {
+	var j float64
+	nf := len(e.cfg.Freqs)
+	for st := 0; st < 3; st++ {
+		row := st * acctFreqCap
+		for fi := 0; fi < nf; fi++ {
+			if ns := f.res[row+fi]; ns != 0 {
+				j += e.watts[st][fi] * float64(ns) * 1e-9
+			}
+		}
+	}
+	return j
+}
+
+// powerNow folds instantaneous machine watts (from the published
+// words) and cumulative joules for the meter stream.
+func (e *Exec) powerNow() (watts, joules float64) {
+	for _, w := range e.workers {
+		f := e.foldAcct(&w.acct)
+		joules += e.cellJoules(&f)
+		if f.st >= cpu.IdleHalt {
+			watts += e.watts[f.st-1][f.fi]
+		}
+	}
+	watts += e.baseWatts
+	joules += e.baseWatts * float64(e.nowNS()) * 1e-9
+	return watts, joules
 }
 
 // buildReport renders a job's report as the pool delta over its span.
 // Counts the pool cannot attribute to one job (failed steals, tempo
 // switches, residency) cover everything that happened during the
 // job's span, concurrent neighbours included; Tasks, Spawns and
-// Steals are exact per-job attributions. Energy is worker-time
-// weighted: the machine's modeled joules over the span are shared in
-// proportion to the Busy core residency the meter attributed to this
-// job, so concurrent jobs partition the pool's energy instead of each
-// claiming the whole machine (a job running alone keeps the full
-// draw, idle cores included).
+// Steals are exact per-job attributions folded from the per-worker
+// counters. Energy is worker-time weighted: the machine's modeled
+// joules over the span are shared in proportion to the Busy core
+// residency attributed to this job, so concurrent jobs partition the
+// pool's energy instead of each claiming the whole machine (a job
+// running alone keeps the full draw, idle cores included).
 func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 	now := time.Now()
 	sojourn := units.Time(now.Sub(js.start).Nanoseconds()) * units.Nanosecond
@@ -486,10 +644,18 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 			span = units.Time(d) * units.Nanosecond
 		}
 	}
+	var tasks, spawns, steals, busyNS int64
+	for i := range js.perW {
+		c := &js.perW[i]
+		tasks += c.tasks
+		spawns += c.spawns
+		steals += c.steals
+		busyNS += c.busyNS
+	}
 	machineJ := end.joules - js.snap.joules
 	energy := machineJ
 	if poolBusy := end.busy - js.snap.busy; poolBusy > 0 {
-		jobBusy := units.Time(js.busyNS.Load()) * units.Nanosecond
+		jobBusy := units.Time(busyNS) * units.Nanosecond
 		if jobBusy < poolBusy {
 			energy = machineJ * float64(jobBusy) / float64(poolBusy)
 		}
@@ -504,9 +670,9 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 		EnergyJ:       energy,
 		MeterJ:        energy, // no modeled DAQ on the host
 		EDP:           meter.EDP(energy, span),
-		Tasks:         js.tasks.Load(),
-		Spawns:        js.spawns.Load(),
-		Steals:        js.steals.Load(),
+		Tasks:         tasks,
+		Spawns:        spawns,
+		Steals:        steals,
 		FailedSteals:  end.failedSteals - js.snap.failedSteals,
 		TempoSwitches: end.tempoSwitches - js.snap.tempoSwitches,
 		DVFSCommits:   end.dvfsCommits - js.snap.dvfsCommits,
@@ -553,69 +719,19 @@ func (e *Exec) emit(ev obs.Event) {
 	e.cfg.Observer.Observe(ev)
 }
 
-// mutate integrates modeled power and residency up to now under
-// meterMu, then applies fn to machine state. All reads and writes of
-// core states and domain frequencies go through meterMu, so the
-// integration always sees a consistent machine and the race detector
-// stays quiet. Lock order: tempoMu (if held) before meterMu.
-func (e *Exec) mutate(fn func()) {
-	e.meterMu.Lock()
-	e.integrateLocked(time.Now())
-	if fn != nil {
-		fn()
-	}
-	e.meterMu.Unlock()
-}
-
-// integrateLocked advances energy and residency accumulators to now;
-// meterMu must be held.
-func (e *Exec) integrateLocked(now time.Time) {
-	dt := now.Sub(e.lastTouch)
-	if dt <= 0 {
-		return
-	}
-	e.lastTouch = now
-	e.joules += e.model.MachineWatts(e.mach) * dt.Seconds()
-	dtu := units.Time(dt.Nanoseconds()) * units.Nanosecond
-	maxF := e.cfg.Spec.MaxFreq()
-	for i, w := range e.workers {
-		f := w.core.Dom.Freq()
-		pw := &e.perWorker[i]
-		switch w.core.State {
-		case cpu.Busy:
-			e.busy += dtu
-			e.freqBusy[f] += dtu
-			pw.Busy += dtu
-			if f != maxF {
-				e.slowBusy += dtu
-				pw.SlowBusy += dtu
-			}
-		case cpu.Spin:
-			e.spin += dtu
-			pw.Spin += dtu
-			if f != maxF {
-				pw.SlowSpin += dtu
-			}
-		case cpu.IdleHalt:
-			e.idle += dtu
-			pw.Idle += dtu
-		}
-	}
-}
-
+// setState publishes a core-state change into the worker's accounting
+// cell. Owner-only; no-ops when the state is unchanged, so the
+// pop→run→pop chain costs one shadow compare.
 func (w *worker) setState(st cpu.CoreState) {
 	if w.lastState == st {
 		return
 	}
 	w.lastState = st
-	w.e.mutate(func() {
-		w.core.State = st
-	})
+	w.e.acctSet(&w.acct, int(st), -1)
 }
 
-// freq reads the worker's current domain frequency from its
-// lock-free shadow: Work only needs a fresh snapshot, and taking the
-// global meterMu per leaf task would serialize the pool.
+// freq reads the worker's current tempo frequency from its lock-free
+// shadow: Work only needs a fresh snapshot.
 func (w *worker) freq() units.Freq {
 	return units.Freq(w.curFreq.Load())
 }
@@ -648,7 +764,10 @@ func (e *Exec) profLoop() {
 }
 
 // meterLoop streams 100 Hz energy samples to the observer, mirroring
-// the paper's DAQ cadence on wall-clock time.
+// the paper's DAQ cadence on wall-clock time. This is the only
+// periodic integration point — the accounting itself is exact and
+// lock-free, so the cadence affects the observer stream's resolution,
+// not the totals in any report.
 func (e *Exec) meterLoop() {
 	defer e.workerWG.Done()
 	tick := time.NewTicker(meter.SamplePeriod.Duration())
@@ -659,11 +778,7 @@ func (e *Exec) meterLoop() {
 			return
 		case <-tick.C:
 		}
-		e.meterMu.Lock()
-		e.integrateLocked(time.Now())
-		watts := e.model.MachineWatts(e.mach)
-		joules := e.joules
-		e.meterMu.Unlock()
+		watts, joules := e.powerNow()
 		e.emit(obs.Event{Kind: obs.EnergySample, Worker: -1, Victim: -1, Power: watts, Energy: joules})
 	}
 }
@@ -702,6 +817,7 @@ func (w *worker) loop() {
 // idleWait parks the worker on the intake queue with exponential
 // backoff. A pool with no jobs at all halts its cores (no modeled
 // energy draw) and backs off further than one between steal rounds.
+// The backoff timer is per-worker and reused across cycles.
 func (w *worker) idleWait() {
 	maxBackoff := 200 * time.Microsecond
 	if w.e.active.Load() == 0 {
@@ -717,13 +833,16 @@ func (w *worker) idleWait() {
 	} else {
 		w.backoff = maxBackoff
 	}
-	t := time.NewTimer(w.backoff)
-	defer t.Stop()
+	if w.idleTimer == nil {
+		w.idleTimer = time.NewTimer(w.backoff)
+	} else {
+		w.idleTimer.Reset(w.backoff)
+	}
 	select {
 	case tk := <-w.e.injectq:
 		w.runTask(tk)
 	case <-w.e.closeCh:
-	case <-t.C:
+	case <-w.idleTimer.C:
 	}
 }
 
@@ -736,15 +855,71 @@ func (w *worker) popLocal() (*task, bool) {
 	return t, true
 }
 
+// getTask recycles a deque item from the worker's free list, or
+// allocates when the list is dry (cold start, burst deeper than the
+// list). Owner-only.
+func (w *worker) getTask(fn wl.Task, blk *block, js *jobState) *task {
+	if n := len(w.freeTasks); n > 0 {
+		t := w.freeTasks[n-1]
+		w.freeTasks = w.freeTasks[:n-1]
+		t.fn, t.blk, t.job = fn, blk, js
+		return t
+	}
+	return &task{fn: fn, blk: blk, job: js}
+}
+
+// putTask clears and recycles a task the worker has finished with.
+// Tasks migrate between workers through steals; each lands in the
+// free list of whichever worker executed it.
+func (w *worker) putTask(t *task) {
+	if len(w.freeTasks) < cap(w.freeTasks) {
+		t.fn, t.blk, t.job = nil, nil, nil
+		w.freeTasks = append(w.freeTasks, t)
+	}
+}
+
+// getBlock recycles a fork-join block, draining any stale completion
+// token from the previous generation. Owner-only.
+func (w *worker) getBlock(pending int64) *block {
+	var blk *block
+	if n := len(w.freeBlocks); n > 0 {
+		blk = w.freeBlocks[n-1]
+		w.freeBlocks = w.freeBlocks[:n-1]
+		select {
+		case <-blk.done:
+		default:
+		}
+	} else {
+		blk = &block{done: make(chan struct{}, 1)}
+	}
+	blk.waiting.Store(false)
+	blk.pending.Store(pending)
+	return blk
+}
+
+// putBlock recycles a drained block. Safe even with a stray late
+// signal in flight: the token lands in the buffered channel and is
+// drained on reuse (or causes one spurious, absorbed wake).
+func (w *worker) putBlock(blk *block) {
+	if len(w.freeBlocks) < cap(w.freeBlocks) {
+		w.freeBlocks = append(w.freeBlocks, blk)
+	}
+}
+
 // push places a spawned task on the worker's own tail (Figure 5
-// PUSH), then applies the workload-sensitive growth check.
+// PUSH), then applies the workload-sensitive growth check. The check
+// pre-filters through the thresholds' lock-free published bound:
+// tempoMu is taken only when the new size can actually cross a tier.
 func (w *worker) push(t *task) {
-	w.e.spawns.Add(1)
+	w.acct.spawns.Add(1)
 	if t.job != nil {
-		t.job.spawns.Add(1)
+		t.job.perW[w.id].spawns++
 	}
 	w.dq.Push(t)
 	if !w.e.cfg.Mode.Workload() {
+		return
+	}
+	if !w.th.WouldRaiseFast(w.dq.Size()) {
 		return
 	}
 	var evs []obs.Event
@@ -766,8 +941,12 @@ func (w *worker) push(t *task) {
 // afterShrink applies Figure 5's POP tail check: a deque that shrank
 // below the current tier's threshold lowers the tempo — unless the
 // worker holds the most immediate work (head of the immediacy list).
+// Like push, it pre-checks the published bound before locking.
 func (w *worker) afterShrink() {
 	if !w.e.cfg.Mode.Workload() {
+		return
+	}
+	if !w.th.WouldLowerFast(w.dq.Size()) {
 		return
 	}
 	var evs []obs.Event
@@ -817,13 +996,12 @@ func (w *worker) stealRound() (*task, bool) {
 		}
 		t, ok := v.dq.Steal()
 		if !ok {
-			w.e.failedSteals.Add(1)
+			w.acct.failedSteals.Add(1)
 			continue
 		}
-		w.e.steals.Add(1)
-		w.e.workerSteals[w.id].Add(1)
+		w.acct.steals.Add(1)
 		if t.job != nil {
-			t.job.steals.Add(1)
+			t.job.perW[w.id].steals++
 		}
 		w.e.emit(obs.Event{Kind: obs.Steal, Worker: w.id, Victim: v.id})
 		mode := w.e.cfg.Mode
@@ -870,11 +1048,14 @@ func (w *worker) victimShrinkLocked(v *worker, pend *[]obs.Event) {
 	}
 }
 
-// retuneLocked applies the composed level as the core's frequency
-// vote. Transitions commit immediately (the host has no modeled
-// latency daemon); tempoMu must be held. Observer events are not
-// emitted here — user callbacks must not run under tempoMu — but
-// appended to pend for the caller to emit after unlocking.
+// retuneLocked applies the composed level as the worker's tempo
+// frequency. Transitions commit immediately (the host has no modeled
+// latency daemon), and each worker owns its whole clock domain, so an
+// accepted tempo request is a DVFS commit; the new frequency is
+// published to the Work hot path (curFreq) and the accounting cell.
+// tempoMu must be held. Observer events are not emitted here — user
+// callbacks must not run under tempoMu — but appended to pend for the
+// caller to emit after unlocking.
 func (w *worker) retuneLocked(pend *[]obs.Event) {
 	level := w.wpLevel
 	if w.e.cfg.Mode.Workload() {
@@ -885,25 +1066,19 @@ func (w *worker) retuneLocked(pend *[]obs.Event) {
 		fi = max
 	}
 	f := w.e.cfg.Freqs[fi]
-	if w.core.Req == f {
+	if w.reqFreq == f {
 		return
 	}
+	w.reqFreq = f
 	w.e.tempoSwitches.Add(1)
+	w.e.dvfsCommits.Add(1)
+	w.curFreq.Store(int64(f))
+	w.e.acctSet(&w.acct, -1, fi)
 	if w.e.cfg.Observer != nil {
-		*pend = append(*pend, obs.Event{Kind: obs.TempoSwitch, Worker: w.id, Victim: -1, Freq: f})
+		*pend = append(*pend,
+			obs.Event{Kind: obs.TempoSwitch, Worker: w.id, Victim: -1, Freq: f},
+			obs.Event{Kind: obs.DVFSCommit, Worker: w.id, Victim: -1, Freq: f})
 	}
-	w.e.mutate(func() {
-		old := w.core.Dom.Freq()
-		w.e.mach.Request(w.core, f, 0)
-		w.core.Dom.ForceFreq(f)
-		w.curFreq.Store(int64(w.core.Dom.Freq()))
-		if w.core.Dom.Freq() != old {
-			w.e.dvfsCommits.Add(1)
-			if w.e.cfg.Observer != nil {
-				*pend = append(*pend, obs.Event{Kind: obs.DVFSCommit, Worker: w.id, Victim: -1, Freq: f})
-			}
-		}
-	})
 }
 
 // emitAll streams deferred events once no scheduler lock is held.
@@ -913,39 +1088,67 @@ func (e *Exec) emitAll(evs []obs.Event) {
 	}
 }
 
+// switchJob flushes the worker's current contiguous busy interval to
+// the job that owns it and repoints the accounting context at js.
+// Owner-only; called only when the context actually changes, so a
+// run of same-job tasks never reads the clock at task boundaries.
+func (w *worker) switchJob(js *jobState) {
+	now := w.e.nowNS()
+	if cur := w.cur.js; cur != nil {
+		if d := now - w.jsSinceNS; d > 0 {
+			cur.perW[w.id].busyNS += d
+		}
+	}
+	w.cur.js = js
+	w.jsSinceNS = now
+}
+
 // runTask executes one task, skipping the body (but not the fork-join
 // bookkeeping) when its job has been cancelled, so cancelled jobs
 // drain instead of running. A panicking task body fails its job (the
 // error surfaces from Job.Wait, matching the Sim backend) without
-// taking the shared pool down.
+// taking the shared pool down. The task itself is recycled into this
+// worker's free list before the body runs; per-job accounting is
+// written to this worker's plain counter slice, ordered before the
+// block decrement so the job's report fold (which happens after the
+// pending chain reaches zero) observes every write.
+//
+// Busy-time attribution is interval-based: the worker charges the
+// whole contiguous stretch it spends with one accounting context
+// (task bodies plus the join helping/waiting inside them, exactly as
+// the old per-frame self-time scheme did) to that job, flushing at
+// job switches and top-level exits via switchJob. A join that runs
+// another job's stolen task inline switches contexts on the way in
+// and back out, so interleaved jobs still partition the worker's
+// time exactly.
 func (w *worker) runTask(t *task) {
+	fn, blk, js := t.fn, t.blk, t.job
+	w.putTask(t)
 	w.backoff = 0
 	w.setState(cpu.Busy)
-	js := t.job
-	// Frame timing for per-job worker-time attribution: this frame's
-	// self time is its wall-clock elapsed minus whatever nested
-	// runTask frames (run inline by join — possibly serving other
-	// jobs) consumed.
-	frameStart := time.Now()
-	if js != nil {
-		js.execStart.CompareAndSwap(0, frameStart.Sub(w.e.start).Nanoseconds())
+	prev := w.cur.js
+	if js != prev {
+		w.switchJob(js)
 	}
-	childBefore := w.childNS
+	if js != nil && js.execStart.Load() == 0 {
+		js.execStart.CompareAndSwap(0, w.e.nowNS())
+	}
 	defer func() {
-		total := time.Since(frameStart).Nanoseconds()
-		if js != nil {
-			if self := total - (w.childNS - childBefore); self > 0 {
-				js.busyNS.Add(self)
-			}
+		if js != prev {
+			w.switchJob(prev)
 		}
-		w.childNS = childBefore + total
+		// The decrement comes last: every accounting flush above is
+		// ordered before the pending chain that releases the fold.
+		if blk != nil && blk.pending.Add(-1) == 0 && blk.waiting.Load() {
+			blk.signal()
+		}
 	}()
 	if js != nil && js.cancelled.Load() {
 		js.interrupted.Store(true) // body skipped: cancellation bit
 	} else {
-		w.e.tasks.Add(1)
+		w.acct.tasks.Add(1)
 		if js != nil {
-			js.tasks.Add(1)
+			js.perW[w.id].tasks++
 		}
 		func() {
 			defer func() {
@@ -956,16 +1159,13 @@ func (w *worker) runTask(t *task) {
 					js.fail(fmt.Errorf("rt: job %d task panicked: %v\n%s", js.id, p, debug.Stack()))
 				}
 			}()
-			t.fn(ctx{w, js})
+			fn(w.curIface)
 		}()
-	}
-	if t.blk != nil && t.blk.pending.Add(-1) == 0 {
-		close(t.blk.done)
 	}
 }
 
 // join drains a block: run own-block tasks from the local tail, help
-// by stealing, and finally wait on the block channel.
+// by stealing, and finally wait for the block's completion token.
 func (w *worker) join(blk *block) {
 	for blk.pending.Load() > 0 {
 		if t, ok := w.dq.Pop(); ok {
@@ -985,27 +1185,40 @@ func (w *worker) join(blk *block) {
 			w.runTask(t)
 			continue
 		}
-		select {
-		case <-blk.done:
-			return
-		case <-time.After(50 * time.Microsecond):
+		// Nothing runnable anywhere: announce ourselves, re-check, and
+		// wait for the completion token. The buffered token cannot be
+		// lost (the last decrement either sees the announcement and
+		// signals, or our re-check sees zero), and a stale token from
+		// a recycled generation at worst wakes the loop into one more
+		// pending check.
+		blk.waiting.Store(true)
+		if blk.pending.Load() > 0 {
+			<-blk.done
 		}
+		blk.waiting.Store(false)
 	}
 }
 
-// ctx implements wl.Ctx over a real worker executing one job's task.
-type ctx struct {
+// wctx implements wl.Ctx over a real worker executing one job's
+// tasks. Each worker owns a single wctx (and one interface value
+// wrapping it); runTask repoints js around task bodies, so entering a
+// task allocates nothing. A worker runs one frame at a time, nested
+// frames save and restore js, and the contract that a task uses the
+// Ctx it was passed (rather than one captured from another spawn)
+// matches wl's documented semantics.
+type wctx struct {
 	w  *worker
 	js *jobState
 }
 
-var _ wl.Ctx = ctx{}
+var _ wl.Ctx = (*wctx)(nil)
 
-func (c ctx) Go(tasks ...wl.Task) {
-	if c.js != nil && c.js.cancelled.Load() {
+func (c *wctx) Go(tasks ...wl.Task) {
+	js := c.js
+	if js != nil && js.cancelled.Load() {
 		// Spawn boundary: a cancelled job forks no new work.
 		if len(tasks) > 0 {
-			c.js.interrupted.Store(true)
+			js.interrupted.Store(true)
 		}
 		return
 	}
@@ -1017,18 +1230,18 @@ func (c ctx) Go(tasks ...wl.Task) {
 		tasks[0](c)
 		return
 	}
-	blk := &block{done: make(chan struct{})}
-	blk.pending.Store(int64(len(tasks) - 1))
+	blk := w.getBlock(int64(len(tasks) - 1))
 	for i := len(tasks) - 1; i >= 1; i-- {
-		w.push(&task{fn: tasks[i], blk: blk, job: c.js})
+		w.push(w.getTask(tasks[i], blk, js))
 	}
 	tasks[0](c)
 	w.join(blk)
+	w.putBlock(blk)
 }
 
 // Work executes declared cycles at the worker's current tempo
 // frequency in wall-clock time: tempo throttling is real here.
-func (c ctx) Work(cy units.Cycles) {
+func (c *wctx) Work(cy units.Cycles) {
 	if cy <= 0 {
 		return
 	}
@@ -1036,11 +1249,11 @@ func (c ctx) Work(cy units.Cycles) {
 }
 
 // Mem executes frequency-independent time.
-func (c ctx) Mem(d units.Time) { c.sleepFor(d.Duration()) }
+func (c *wctx) Mem(d units.Time) { c.sleepFor(d.Duration()) }
 
 // WorkMix splits cycles into tempo-scaled and frequency-independent
 // parts, as in the simulator.
-func (c ctx) WorkMix(cy units.Cycles, memFrac float64) {
+func (c *wctx) WorkMix(cy units.Cycles, memFrac float64) {
 	if memFrac < 0 {
 		memFrac = 0
 	}
@@ -1052,23 +1265,24 @@ func (c ctx) WorkMix(cy units.Cycles, memFrac float64) {
 	c.Mem(memCycles.DurationAt(c.w.e.cfg.Spec.MaxFreq()))
 }
 
-func (c ctx) Worker() int { return c.w.id }
+func (c *wctx) Worker() int { return c.w.id }
 
 // sleepFor burns the requested wall time in cancellation-aware slices:
 // sleep in ≤1 ms chunks, spin the sub-100µs remainder for fidelity,
 // and bail out the moment the job is cancelled.
-func (c ctx) sleepFor(d time.Duration) {
+func (c *wctx) sleepFor(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	js := c.js
 	end := time.Now().Add(d)
 	for {
 		rem := time.Until(end)
 		if rem <= 0 {
 			return
 		}
-		if c.js != nil && c.js.cancelled.Load() {
-			c.js.interrupted.Store(true) // work cut short
+		if js != nil && js.cancelled.Load() {
+			js.interrupted.Store(true) // work cut short
 			return
 		}
 		switch {

@@ -418,3 +418,149 @@ func TestSoloJobKeepsFullMachineEnergy(t *testing.T) {
 		t.Fatalf("solo job energy %.3fJ out of band vs machine %.3fJ", r.EnergyJ, total)
 	}
 }
+
+// TestAccountingResidencyContinuity pins the per-worker lock-free
+// accounting against wall-clock continuity: over any window, each
+// worker's busy+spin+idle residency must cover the window — the fold
+// extends the in-flight interval to "now", so no time may leak
+// between transitions.
+func TestAccountingResidencyContinuity(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: core.Unified, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	t0 := e.nowNS()
+	s0 := e.snapshot()
+	j, err := e.Submit(context.Background(), func(c wl.Ctx) {
+		wl.For(c, 0, 32, 1, func(c wl.Ctx, lo, hi int) {
+			c.Work(20_000_000) // ~8ms at 2.4GHz
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.snapshot()
+	t1 := e.nowNS()
+	window := units.Time(t1-t0) * units.Nanosecond
+	for i := range s1.perWorker {
+		a, b := s0.perWorker[i], s1.perWorker[i]
+		covered := (b.Busy - a.Busy) + (b.Spin - a.Spin) + (b.Idle - a.Idle)
+		// The two snapshots bracket [t0, t1] loosely (each worker is
+		// folded at a slightly different instant), so allow a few
+		// percent of slack in both directions.
+		if covered < window*9/10 || covered > window*11/10 {
+			t.Fatalf("worker %d residency %v does not cover window %v", i, covered, window)
+		}
+	}
+}
+
+// TestAccountingSampledEquivalence is the accounting-equivalence
+// contract: an independent old-style integrator — periodically
+// sampling every worker's published (state, freq) word and summing
+// watts·dt, exactly how the pre-lock-free meter integrated under its
+// global mutex — must agree with the exact folded energy on a solo
+// job within sampling tolerance. This pins that the published words
+// track the real state trajectory and that the residency matrices the
+// fold integrates match them.
+func TestAccountingSampledEquivalence(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 4, Mode: core.Baseline, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	done := make(chan float64)
+	start := e.snapshot()
+	go func() {
+		var joules float64
+		last := e.nowNS()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				done <- joules
+				return
+			case <-tick.C:
+			}
+			watts := e.baseWatts
+			for _, w := range e.workers {
+				st, fi, _ := unpackAcct(w.acct.word.Load())
+				watts += e.watts[st-1][fi]
+			}
+			now := e.nowNS()
+			joules += watts * float64(now-last) * 1e-9
+			last = now
+		}
+	}()
+
+	j, err := e.Submit(context.Background(), func(c wl.Ctx) {
+		wl.For(c, 0, 16, 1, func(c wl.Ctx, lo, hi int) {
+			c.Work(50_000_000) // ~20ms at 2.4GHz: dwell times >> sample period
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	sampled := <-done
+	end := e.snapshot()
+
+	exact := end.joules - start.joules
+	if exact <= 0 {
+		t.Fatalf("no exact energy integrated: %g", exact)
+	}
+	ratio := sampled / exact
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("sampled integration %.3fJ vs exact fold %.3fJ (ratio %.3f) out of tolerance",
+			sampled, exact, ratio)
+	}
+}
+
+// TestSpawnJoinSteadyStateZeroAlloc pins the free lists: once the
+// pool is warm, a job performing tens of thousands of spawn/joins
+// must allocate only its fixed per-job setup — no per-operation
+// allocations anywhere in the scheduler.
+func TestSpawnJoinSteadyStateZeroAlloc(t *testing.T) {
+	e, err := NewExec(core.Config{Spec: cpu.SystemB(), Workers: 2, Mode: core.Baseline, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const ops = 20_000
+	pair := []wl.Task{func(wl.Ctx) {}, func(wl.Ctx) {}}
+	run := func() {
+		j, err := e.Submit(context.Background(), func(c wl.Ctx) {
+			for i := 0; i < ops; i++ {
+				c.Go(pair...)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the free lists and idle timers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	allocated := after.TotalAlloc - before.TotalAlloc
+	// Per-job setup (jobState, Job, snapshots, report, watch
+	// goroutine) is fixed and small; 128 KiB of slack over 20k ops
+	// still proves ~0 B/op on the spawn/join path itself.
+	if allocated > 128<<10 {
+		t.Fatalf("steady-state job allocated %d B over %d spawn/joins (%.1f B/op)",
+			allocated, ops, float64(allocated)/ops)
+	}
+}

@@ -18,6 +18,11 @@
 // requires.
 package tempo
 
+import (
+	"math"
+	"sync/atomic"
+)
+
 // Node is the intrusive immediacy-list node embedded in each worker.
 // Val points back to the owning worker.
 type Node[T any] struct {
@@ -94,6 +99,49 @@ func (n *Node[T]) Relay(up func(T)) {
 type Thresholds struct {
 	th []float64
 	s  int
+
+	// raiseAt and lowerAt republish the bounds the WouldRaise /
+	// WouldLower predicates compare against — float64 bits, updated
+	// (under the caller's tempo lock) by every mutation. They exist so
+	// a concurrent hot path can pre-check a threshold crossing with
+	// one atomic load and skip the tempo lock entirely when no
+	// crossing is possible: the lock-free fast path of the Native
+	// PUSH/POP. raiseAt is +Inf at the top tier (nothing to raise),
+	// lowerAt -Inf at the bottom.
+	raiseAt atomic.Uint64
+	lowerAt atomic.Uint64
+}
+
+// publish refreshes the lock-free raise/lower bounds from the current
+// tier and thresholds. Called by every mutation; mutations themselves
+// are serialized by the caller's tempo lock.
+func (t *Thresholds) publish() {
+	up := math.Inf(1)
+	if t.s < len(t.th) {
+		up = t.th[t.s]
+	}
+	down := math.Inf(-1)
+	if t.s > 0 {
+		down = t.th[t.s-1]
+	}
+	t.raiseAt.Store(math.Float64bits(up))
+	t.lowerAt.Store(math.Float64bits(down))
+}
+
+// WouldRaiseFast is the lock-free pre-check for WouldRaise: it may
+// only be trusted when it reports false (no crossing possible at this
+// size, against a possibly stale bound — the same staleness snapshot
+// deque sizes already have). A true result must be confirmed by
+// WouldRaise under the tempo lock before committing.
+func (t *Thresholds) WouldRaiseFast(size int) bool {
+	return float64(size) >= math.Float64frombits(t.raiseAt.Load())
+}
+
+// WouldLowerFast is the lock-free pre-check for WouldLower, with the
+// same contract as WouldRaiseFast: false means skip the lock, true
+// means re-check under it.
+func (t *Thresholds) WouldLowerFast(size int) bool {
+	return float64(size) < math.Float64frombits(t.lowerAt.Load())
 }
 
 // NewThresholds returns tier state with K thresholds derived from the
@@ -106,6 +154,7 @@ func NewThresholds(k int, avg float64) *Thresholds {
 	t := &Thresholds{th: make([]float64, k)}
 	t.Retune(avg)
 	t.s = k
+	t.publish()
 	return t
 }
 
@@ -134,6 +183,7 @@ func (t *Thresholds) Retune(avg float64) {
 	for i := range t.th {
 		t.th[i] = base * float64(i+1)
 	}
+	t.publish()
 }
 
 // WouldRaise reports whether a deque that has just grown to size
@@ -160,6 +210,7 @@ func (t *Thresholds) WouldLower(size int) bool {
 func (t *Thresholds) Raise() {
 	if t.s < len(t.th) {
 		t.s++
+		t.publish()
 	}
 }
 
@@ -167,6 +218,7 @@ func (t *Thresholds) Raise() {
 func (t *Thresholds) Lower() {
 	if t.s > 0 {
 		t.s--
+		t.publish()
 	}
 }
 
@@ -181,6 +233,7 @@ func (t *Thresholds) SetTier(v int) {
 		v = len(t.th)
 	}
 	t.s = v
+	t.publish()
 }
 
 // TierFor returns the tier a deque of the given size belongs in:

@@ -383,3 +383,37 @@ func TestProfilerWindowClamp(t *testing.T) {
 		t.Fatalf("avg = %v, want 9 (window of 1)", p.Average())
 	}
 }
+
+// TestFastPathBoundsTrackSlowPath pins the lock-free pre-check
+// contract: after any mutation, WouldRaiseFast/WouldLowerFast must
+// report false only when WouldRaise/WouldLower would too — a false
+// fast answer is what lets the scheduler skip the tempo lock.
+func TestFastPathBoundsTrackSlowPath(t *testing.T) {
+	th := NewThresholds(2, 15) // thresholds {10, 20}
+	check := func(ctx string) {
+		t.Helper()
+		for size := 0; size <= 40; size++ {
+			if got, want := th.WouldRaiseFast(size), th.WouldRaise(size); got != want {
+				t.Fatalf("%s: WouldRaiseFast(%d) = %v, slow = %v (tier %d)", ctx, size, got, want, th.Tier())
+			}
+			if got, want := th.WouldLowerFast(size), th.WouldLower(size); got != want {
+				t.Fatalf("%s: WouldLowerFast(%d) = %v, slow = %v (tier %d)", ctx, size, got, want, th.Tier())
+			}
+		}
+	}
+	check("fresh")
+	th.Lower()
+	check("after Lower")
+	th.Lower()
+	check("after second Lower")
+	th.Raise()
+	check("after Raise")
+	th.SetTier(0)
+	check("after SetTier(0)")
+	th.SetTier(2)
+	check("after SetTier(2)")
+	th.Retune(30) // thresholds {20, 40}
+	check("after Retune")
+	th.Retune(0) // degenerate thresholds {0, 0}
+	check("after Retune(0)")
+}

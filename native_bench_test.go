@@ -1,0 +1,87 @@
+package hermes_test
+
+import (
+	"context"
+	"testing"
+
+	"hermes"
+	"hermes/internal/hotload"
+)
+
+// nativeRuntime builds the trajectory-scale Native runtime (8
+// workers) for the hot-path micro-benchmarks. The machine model is
+// the default System A (16 clock domains, so 8 workers stay on
+// distinct domains). The workload bodies live in internal/hotload,
+// shared with `hermes-bench -trajectory`, so the benchmark numbers
+// and the BENCH_native.json artifact measure the same thing.
+func nativeRuntime(b *testing.B, mode hermes.Mode) *hermes.Runtime {
+	b.Helper()
+	r, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithWorkers(hotload.Workers),
+		hermes.WithMode(mode),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkNativeSpawnJoin measures the steady-state spawn/join cycle:
+// one long-lived job performs b.N two-way fork-join blocks, so the
+// per-op cost is PUSH + POP (or STEAL) + join bookkeeping with the job
+// setup amortized away. tasks/s counts scheduler task executions per
+// wall-clock second — the headline hot-path throughput number.
+func BenchmarkNativeSpawnJoin(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		mode hermes.Mode
+	}{
+		{"baseline", hermes.Baseline},
+		{"unified", hermes.Unified},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			r := nativeRuntime(b, m.mode)
+			defer r.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			rep, err := r.Run(context.Background(), hotload.SpawnJoinLoop(b.N))
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(rep.Tasks)/s, "tasks/s")
+			}
+		})
+	}
+}
+
+// BenchmarkNativeFib runs the paper's fib stress: a binary spawn tree
+// with a serial cutoff, the fine-grained workload whose task-boundary
+// rate exposes any lock or allocation on the scheduler hot path. One
+// job per iteration, so job setup is included (it is noise at this
+// task count).
+func BenchmarkNativeFib(b *testing.B) {
+	r := nativeRuntime(b, hermes.Unified)
+	defer r.Close()
+	want := hotload.SerialFib(hotload.FibN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tasks int64
+	for i := 0; i < b.N; i++ {
+		var out int
+		rep, err := r.Run(context.Background(), hotload.Fib(hotload.FibN, hotload.FibCutoff, &out))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != want {
+			b.Fatalf("fib(%d) = %d, want %d", hotload.FibN, out, want)
+		}
+		tasks += rep.Tasks
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(tasks)/s, "tasks/s")
+	}
+}

@@ -171,6 +171,12 @@ func New(opts ...Option) (*Runtime, error) {
 		if err != nil {
 			return fail(err)
 		}
+		// Resolve the deque choice the way the Native backend does, so
+		// Config() reports what actually runs on either backend: Auto
+		// is THE here (the paper-fidelity measurement instrument).
+		if r.cfg.Deque == core.DequeAuto {
+			r.cfg.Deque = core.DequeTHE
+		}
 		r.exec = ex
 	case Native:
 		// Hand the backend the pre-validation config: an unset worker
