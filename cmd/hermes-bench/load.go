@@ -220,7 +220,10 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 }
 
 // percentileMS returns the p-quantile (0..1) of sorted durations in
-// milliseconds, by the nearest-rank method.
+// milliseconds, by the nearest-rank method. It converts from
+// nanoseconds so sub-millisecond sojourns (routine for simulated
+// requests) keep their precision instead of truncating through whole
+// microseconds.
 func percentileMS(sorted []time.Duration, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -232,7 +235,7 @@ func percentileMS(sorted []time.Duration, p float64) float64 {
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}
-	return float64(sorted[idx].Microseconds()) / 1e3
+	return float64(sorted[idx].Nanoseconds()) / 1e6
 }
 
 // --- in-process target ------------------------------------------------

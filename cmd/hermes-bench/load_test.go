@@ -30,6 +30,20 @@ func TestPercentileMS(t *testing.T) {
 	}
 }
 
+// TestPercentileMSSubMillisecond is the regression pin for the
+// truncation bugfix: sub-millisecond sojourns — the norm for simulated
+// requests — must keep nanosecond precision instead of collapsing
+// through whole microseconds.
+func TestPercentileMSSubMillisecond(t *testing.T) {
+	sorted := []time.Duration{1500 * time.Nanosecond, 2750 * time.Nanosecond}
+	if got := percentileMS(sorted, 0.5); got != 0.0015 {
+		t.Errorf("p50 of 1500ns = %gms, want 0.0015ms", got)
+	}
+	if got := percentileMS(sorted, 1); got != 0.00275 {
+		t.Errorf("max of 2750ns = %gms, want 0.00275ms", got)
+	}
+}
+
 func TestRunLoadValidation(t *testing.T) {
 	if _, err := runLoad(loadOpts{RPS: 0, Duration: time.Second}); err == nil {
 		t.Error("rps=0 accepted")
@@ -123,5 +137,15 @@ func TestVirtualLoadDeterministic(t *testing.T) {
 	}
 	if a.JoulesPerRequest <= 0 || a.P50SojournMS <= 0 {
 		t.Fatalf("degenerate virtual summary: %+v", a)
+	}
+	if a.ThroughputRPS <= 0 || a.DurationS <= 0 {
+		t.Fatalf("virtual summary missing throughput accounting: %+v", a)
+	}
+	// Summary-field consistency with the wall-clock generator: the
+	// virtual path surfaces dropped-event accounting too. The shared
+	// point-runner reads per-job reports synchronously, so the honest
+	// value is zero — but the field must be populated, not forgotten.
+	if a.DroppedEvents != 0 {
+		t.Fatalf("virtual path dropped %d events through a synchronous pipeline", a.DroppedEvents)
 	}
 }

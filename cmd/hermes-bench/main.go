@@ -24,6 +24,19 @@
 //
 //	hermes-bench -load -backend sim -rps 150 -duration 2s -seed 7 -json sim-load.json
 //
+// Sweep mode (-sweep) generalizes the virtual-time replay into the
+// full open-system evaluation: a (workload × tempo-mode × rate) grid,
+// each point a seeded Poisson trace replayed deterministically on the
+// Sim pool, emitting per-mode curves of sojourn percentiles, queueing
+// delay, joules/request, average power, steals/request and DVFS-tier
+// residency vs offered load, with knee detection (first rate whose p99
+// exceeds -kneefactor × the unloaded p50). Two runs with the same
+// flags emit byte-identical JSON — the artifact CI diffs and uploads:
+//
+//	hermes-bench -sweep -workload ticks -rates 50,100,200,400 \
+//	    -modes baseline,unified -duration 500ms -seed 7 -workers 4 \
+//	    -json SWEEP_sim.json -csv out/
+//
 // Trajectory mode (-trajectory) snapshots the Native hot path for the
 // cross-PR perf record: spawn/join and fib tasks/sec with allocation
 // rates, deque micro-numbers (THE vs Chase–Lev), and joules/request
@@ -41,6 +54,7 @@ import (
 	"time"
 
 	"hermes/internal/harness"
+	"hermes/internal/sweep"
 	"hermes/internal/synth"
 	"hermes/internal/units"
 )
@@ -56,6 +70,10 @@ func main() {
 
 		load       = flag.Bool("load", false, "run the open-loop Poisson load generator instead of figures")
 		trajectory = flag.Bool("trajectory", false, "run the hot-path perf-trajectory snapshot (BENCH_native.json)")
+		sweepMode  = flag.Bool("sweep", false, "run the open-system (mode × rate) sweep on the Sim backend")
+		rates      = flag.String("rates", "25,50,100,200", "sweep: comma-separated offered-load grid, requests/second")
+		modes      = flag.String("modes", "baseline,unified", "sweep: comma-separated tempo modes")
+		kneeFactor = flag.Float64("kneefactor", sweep.DefaultKneeFactor, "sweep: knee threshold as a multiple of the unloaded p50 sojourn")
 		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
 		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
 		url        = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
@@ -85,6 +103,30 @@ func main() {
 			sum.Fib.TasksPerSec, sum.DequePushPopNs.THE, sum.DequePushPopNs.ChaseLev,
 			sum.SimLoad.JoulesPerRequest)
 		if err := writeJSON(sum, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sweepMode {
+		err := runSweep(sweepOpts{
+			Spec: synth.Spec{
+				Kind: *workload, N: *n, Grain: *grain,
+				Work: units.Cycles(*work), MemFrac: *memfrac,
+			},
+			Rates:      *rates,
+			Modes:      *modes,
+			Window:     *duration,
+			Seed:       *seed,
+			Trials:     *trials,
+			Workers:    *workers,
+			KneeFactor: *kneeFactor,
+			JSONPath:   *jsonPath,
+			CSVDir:     *csvDir,
+			Verbose:    *verbose,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
 			os.Exit(1)
 		}

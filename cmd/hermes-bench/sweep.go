@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"hermes/internal/sweep"
+	"hermes/internal/synth"
+)
+
+// sweepOpts parameterizes one -sweep invocation.
+type sweepOpts struct {
+	Spec       synth.Spec
+	Rates      string // comma-separated offered RPS grid
+	Modes      string // comma-separated tempo modes
+	Window     time.Duration
+	Seed       int64
+	Trials     int
+	Workers    int
+	KneeFactor float64
+	JSONPath   string
+	CSVDir     string
+	Verbose    bool
+}
+
+// splitCommaList splits a comma-separated flag value, trimming blanks.
+func splitCommaList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseRates parses the -rates grid.
+func parseRates(list string) ([]float64, error) {
+	var rates []float64
+	for _, s := range splitCommaList(list) {
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad rate %q: %v", s, err)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("sweep: -rates is empty")
+	}
+	return rates, nil
+}
+
+// runSweep drives the open-system sweep from the CLI and writes the
+// JSON (and optionally CSV) artifacts.
+func runSweep(opts sweepOpts) error {
+	rates, err := parseRates(opts.Rates)
+	if err != nil {
+		return err
+	}
+	modes, err := parseLoadModes(opts.Modes)
+	if err != nil {
+		return err
+	}
+	if len(modes) == 0 {
+		return fmt.Errorf("sweep: -modes is empty")
+	}
+	cfg := sweep.Config{
+		Workload:   opts.Spec,
+		Modes:      modes,
+		RatesRPS:   rates,
+		Window:     opts.Window,
+		Seed:       opts.Seed,
+		Trials:     opts.Trials,
+		Workers:    opts.Workers,
+		KneeFactor: opts.KneeFactor,
+	}
+	if opts.Verbose {
+		cfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	res, err := sweep.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	if err := writeJSON(res, opts.JSONPath); err != nil {
+		return err
+	}
+	if opts.CSVDir != "" {
+		if err := os.MkdirAll(opts.CSVDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_%s.csv", res.Workload.Kind))
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,14 +1,11 @@
 package main
 
 import (
-	"context"
 	"fmt"
-	"math/rand/v2"
-	"sort"
-	"time"
+	"os"
 
 	"hermes"
-	"hermes/internal/units"
+	"hermes/internal/sweep"
 )
 
 // runVirtualLoad replays a seeded Poisson arrival trace *in virtual
@@ -20,113 +17,66 @@ import (
 // virtual time and is byte-identical across runs for a fixed seed,
 // config and workload: the open-system curve as a reproducible
 // artifact rather than a wall-clock experiment.
+//
+// It is a thin wrapper over the sweep point-runner (one workload, one
+// mode, one rate), so the shared measurement semantics apply here too:
+// peak in-flight counts jobs from arrival to completion (queued jobs
+// included, like the wall-clock generator), percentiles keep full
+// virtual-time resolution, the Runtime is closed exactly once with its
+// error surfaced, and dropped-event accounting appears in the summary
+// (always 0 here — the point-runner observes synchronously through
+// per-job reports, nothing can drop).
 func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 	mode, err := parseLoadMode(opts.Mode)
 	if err != nil {
 		return loadSummary{}, err
 	}
-	// Synchronous observer: the engine is single-threaded, so tracking
-	// in-flight depth inline costs nothing, drops nothing, and stays
-	// deterministic.
-	var cur, peak int64
-	obsv := hermes.ObserverFunc(func(e hermes.Event) {
-		switch e.Kind {
-		case hermes.EventJobStart:
-			cur++
-			if cur > peak {
-				peak = cur
-			}
-		case hermes.EventJobDone:
-			cur--
-		}
-	})
-	ropts := []hermes.Option{
-		hermes.WithBackend(hermes.Sim),
-		hermes.WithMode(mode),
-		hermes.WithSeed(opts.Seed),
-		hermes.WithObserver(obsv),
+	pcfg := sweep.PointConfig{
+		Workload: opts.Spec,
+		Mode:     mode,
+		RPS:      opts.RPS,
+		Window:   opts.Duration,
+		Seed:     opts.Seed,
+		Trials:   1,
+		Workers:  opts.Workers,
 	}
-	if opts.Workers > 0 {
-		ropts = append(ropts, hermes.WithWorkers(opts.Workers))
+	if opts.Verbose {
+		pcfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
-	rt, err := hermes.New(ropts...)
+	pt, err := sweep.RunPoint(pcfg)
 	if err != nil {
 		return loadSummary{}, err
 	}
-	defer rt.Close()
-
-	// The same exponential-interarrival process as the wall-clock
-	// generator, emitted as virtual timestamps.
-	rng := rand.New(rand.NewPCG(uint64(opts.Seed), 0x9e3779b97f4a7c15))
-	horizon := units.Time(opts.Duration.Nanoseconds()) * units.Nanosecond
-	var arrivals []hermes.Arrival
-	at := units.Time(0)
-	for {
-		at += units.Time(rng.ExpFloat64() / opts.RPS * float64(units.Second))
-		if at > horizon {
-			break
-		}
-		task, _, err := opts.Spec.Task()
-		if err != nil {
-			return loadSummary{}, err
-		}
-		arrivals = append(arrivals, hermes.Arrival{At: at, Task: task})
-	}
-	if len(arrivals) == 0 {
-		return loadSummary{}, fmt.Errorf("load: no arrivals in a %v window at %g rps; raise -rps or -duration", opts.Duration, opts.RPS)
-	}
-
-	jobs, err := rt.SubmitTrace(context.Background(), arrivals)
-	if err != nil {
-		return loadSummary{}, err
-	}
-	var (
-		sojourns []time.Duration
-		sumJ     float64
-		makespan units.Time
-		errs     int64
-	)
-	for i, j := range jobs {
-		rep, err := j.Wait()
-		if err != nil {
-			errs++
-			if opts.Verbose {
-				fmt.Printf("load: job %d failed: %v\n", j.ID(), err)
-			}
-			continue
-		}
-		sojourns = append(sojourns, rep.Sojourn.Duration())
-		sumJ += rep.EnergyJ
-		if done := arrivals[i].At + rep.Sojourn; done > makespan {
-			makespan = done
-		}
-	}
-	if err := rt.Close(); err != nil {
-		return loadSummary{}, err
-	}
-
-	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
-	completed := int64(len(sojourns))
-	elapsed := makespan.Seconds()
 	sum := loadSummary{
-		Target:       "in-process/sim-virtual",
-		Workload:     opts.Spec,
-		RPSTarget:    opts.RPS,
-		DurationS:    elapsed,
-		Submitted:    int64(len(arrivals)),
-		Completed:    completed,
-		Errors:       errs,
-		P50SojournMS: percentileMS(sojourns, 0.50),
-		P95SojournMS: percentileMS(sojourns, 0.95),
-		P99SojournMS: percentileMS(sojourns, 0.99),
-		MaxSojournMS: percentileMS(sojourns, 1),
-		PeakInflight: peak,
-	}
-	if elapsed > 0 {
-		sum.ThroughputRPS = float64(completed) / elapsed
-	}
-	if completed > 0 {
-		sum.JoulesPerRequest = sumJ / float64(completed)
+		Target:           "in-process/sim-virtual",
+		Workload:         opts.Spec,
+		RPSTarget:        opts.RPS,
+		DurationS:        pt.MakespanS,
+		Submitted:        pt.Arrivals,
+		Completed:        pt.Completed,
+		Errors:           pt.Errors,
+		ThroughputRPS:    pt.ObservedRPS,
+		P50SojournMS:     pt.P50SojournMS,
+		P95SojournMS:     pt.P95SojournMS,
+		P99SojournMS:     pt.P99SojournMS,
+		MaxSojournMS:     pt.MaxSojournMS,
+		PeakInflight:     pt.PeakInflight,
+		JoulesPerRequest: pt.JoulesPerRequest,
+		DroppedEvents:    pt.DroppedEvents,
 	}
 	return sum, nil
+}
+
+// parseLoadModes splits a comma-separated tempo-mode list through the
+// one shared parser.
+func parseLoadModes(list string) ([]hermes.Mode, error) {
+	var modes []hermes.Mode
+	for _, s := range splitCommaList(list) {
+		m, err := hermes.ParseMode(s)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
 }

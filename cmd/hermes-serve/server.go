@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,7 @@ func newServer(rt *hermes.Runtime, reg *metrics.Registry, maxInflight int, jobTi
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleIndex)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -297,7 +299,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			at = time.Now()
 		}
-		out.SojournMS = float64(at.Sub(rec.submitted).Microseconds()) / 1e3
+		out.SojournMS = float64(at.Sub(rec.submitted).Nanoseconds()) / 1e6
 		out.Report = &reportOut{
 			SpanMS:        rep.Span.Seconds() * 1e3,
 			SojournMS:     rep.Sojourn.Seconds() * 1e3,
@@ -311,6 +313,103 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// jobIndexEntry is one row of the GET /jobs index.
+type jobIndexEntry struct {
+	ID       int64  `json:"id"`
+	Workload string `json:"workload"`
+	Status   string `json:"status"` // running | done | failed
+	// SojournMS is the HTTP layer's wall-clock accept-to-finish
+	// latency, present once the job is done (the same quantity GET
+	// /jobs/{id} reports at its top level).
+	SojournMS float64 `json:"sojourn_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// jobIndexJSON is the GET /jobs response body.
+type jobIndexJSON struct {
+	// Count is the number of rows returned; Indexed is how many job
+	// records the server currently holds (Count can be lower under
+	// ?status= or ?limit=).
+	Count   int `json:"count"`
+	Indexed int `json:"indexed"`
+	// MaxID is the highest job id ever accepted: ids at or below it
+	// that are absent from the index were completed and pruned from the
+	// retention window (GET /jobs/{id} still classifies them).
+	MaxID      int64           `json:"max_id"`
+	RetainDone int             `json:"retain_done"`
+	Jobs       []jobIndexEntry `json:"jobs"`
+}
+
+// handleIndex lists every job record the server retains — running jobs
+// plus completed ones inside the bounded retention window — sorted by
+// id ascending, scrape-friendly by construction: the response size is
+// bounded by max-inflight + the retention window regardless of uptime.
+// ?status=running|done|failed filters rows; ?limit=N keeps only the N
+// highest-id (most recent) matching rows.
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	statusFilter := r.URL.Query().Get("status")
+	switch statusFilter {
+	case "", "running", "done", "failed":
+	default:
+		writeError(w, http.StatusBadRequest, "bad status filter %q (want running, done or failed)", statusFilter)
+		return
+	}
+	limit := -1
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want a non-negative integer)", ls)
+			return
+		}
+		limit = n
+	}
+	type idRec struct {
+		id  int64
+		rec *jobRecord
+	}
+	s.mu.Lock()
+	maxID := s.maxID
+	retain := s.retainDone
+	indexed := len(s.jobs)
+	recs := make([]idRec, 0, len(s.jobs))
+	for id, rec := range s.jobs {
+		recs = append(recs, idRec{id, rec})
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+
+	entries := make([]jobIndexEntry, 0, len(recs))
+	for _, ir := range recs {
+		e := jobIndexEntry{ID: ir.id, Workload: ir.rec.spec.Kind, Status: "running"}
+		if _, jobErr, done := ir.rec.j.Report(); done {
+			e.Status = "done"
+			if jobErr != nil {
+				e.Status = "failed"
+				e.Error = jobErr.Error()
+			}
+			at, ok := ir.rec.finishedAt()
+			if !ok {
+				at = time.Now()
+			}
+			e.SojournMS = float64(at.Sub(ir.rec.submitted).Nanoseconds()) / 1e6
+		}
+		if statusFilter != "" && e.Status != statusFilter {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if limit >= 0 && len(entries) > limit {
+		entries = entries[len(entries)-limit:]
+	}
+	writeJSON(w, http.StatusOK, jobIndexJSON{
+		Count:      len(entries),
+		Indexed:    indexed,
+		MaxID:      maxID,
+		RetainDone: retain,
+		Jobs:       entries,
+	})
 }
 
 // pruneDone appends id to the completion order and evicts the oldest

@@ -411,3 +411,93 @@ func TestMetricsSeriesPresent(t *testing.T) {
 		}
 	}
 }
+
+// TestJobIndex covers GET /jobs: every retained record listed sorted
+// by id with workload kind, status and (when done) sojourn; the
+// response stays bounded by the retention window; status and limit
+// filters apply.
+func TestJobIndex(t *testing.T) {
+	ts, srv := newTestServer(t, 8, 1<<12)
+	srv.retainDone = 3
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		id, code := postJob(t, ts.URL, `{"workload":"ticks","n":4,"grain":4,"work":100000}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		st := waitDoneOrPruned(t, ts.URL, id, 30*time.Second)
+		if st.Status != "done" && st.Status != "pruned" {
+			t.Fatalf("job %d finished %q", id, st.Status)
+		}
+		ids = append(ids, id)
+	}
+	var idx jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs", &idx); code != http.StatusOK {
+		t.Fatalf("index: HTTP %d", code)
+	}
+	// 5 completions against retention 3: the index is bounded by the
+	// window, and the highest ids survive.
+	if idx.Count != 3 || len(idx.Jobs) != 3 || idx.Indexed != 3 {
+		t.Fatalf("index size: %+v", idx)
+	}
+	if idx.MaxID != ids[len(ids)-1] {
+		t.Fatalf("index max_id %d, want %d", idx.MaxID, ids[len(ids)-1])
+	}
+	if idx.RetainDone != 3 {
+		t.Fatalf("index retain_done %d, want 3", idx.RetainDone)
+	}
+	for i, e := range idx.Jobs {
+		if i > 0 && idx.Jobs[i-1].ID >= e.ID {
+			t.Fatalf("index not sorted by id: %+v", idx.Jobs)
+		}
+		if e.Workload != "ticks" {
+			t.Errorf("job %d workload %q, want ticks", e.ID, e.Workload)
+		}
+		if e.Status != "done" {
+			t.Errorf("job %d status %q, want done", e.ID, e.Status)
+		}
+		if e.SojournMS <= 0 {
+			t.Errorf("job %d completed with sojourn %g", e.ID, e.SojournMS)
+		}
+	}
+
+	// A running job appears with status "running" and no sojourn, and
+	// the status filter separates it from the completed ones.
+	slowID, code := postJob(t, ts.URL, `{"workload":"ticks","n":256,"grain":4,"work":100000000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("slow submit: HTTP %d", code)
+	}
+	var running jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?status=running", &running); code != http.StatusOK {
+		t.Fatalf("index?status=running: HTTP %d", code)
+	}
+	if running.Count != 1 || running.Jobs[0].ID != slowID || running.Jobs[0].SojournMS != 0 {
+		t.Fatalf("running filter: %+v", running)
+	}
+	var done jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?status=done", &done); code != http.StatusOK {
+		t.Fatalf("index?status=done: HTTP %d", code)
+	}
+	if done.Count != 3 {
+		t.Fatalf("done filter count %d, want 3: %+v", done.Count, done)
+	}
+
+	// limit keeps the most recent (highest-id) rows.
+	var limited jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?limit=2", &limited); code != http.StatusOK {
+		t.Fatalf("index?limit=2: HTTP %d", code)
+	}
+	if limited.Count != 2 || limited.Jobs[1].ID != slowID {
+		t.Fatalf("limit filter: %+v", limited)
+	}
+
+	// Bad filters are rejected loudly.
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/jobs?status=nope", &v); code != http.StatusBadRequest {
+		t.Fatalf("bad status filter: HTTP %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs?limit=-1", &v); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: HTTP %d, want 400", code)
+	}
+	waitDoneOrPruned(t, ts.URL, slowID, 60*time.Second)
+}

@@ -73,6 +73,10 @@ type Config = core.Config
 // Report is the measured outcome of a run.
 type Report = core.Report
 
+// MachineStats is the simulated machine's lifetime aggregate
+// (Runtime.MachineStats, Sim backend).
+type MachineStats = core.MachineStats
+
 // Mode selects the tempo-control strategy.
 type Mode = core.Mode
 

@@ -322,6 +322,69 @@ func (p *Pool) MachineEnergyJ() float64 {
 	return p.s.met.Energy()
 }
 
+// MachineStats is the machine-wide aggregate through the pool's most
+// recent job completion — the quantities per-job Reports carry only as
+// deltas over their own sojourn windows, which overlap under load and
+// so cannot be summed. Open-system evaluations (energy, power and
+// DVFS-tier residency vs offered load) read the machine totals from
+// here. The snapshot is taken at the last JobDone rather than at
+// engine shutdown: the time at which Close lands relative to the idle
+// engine's parked daemons is a wall-clock race, whereas the trace's
+// last completion is a deterministic virtual instant — so for a fixed
+// config, seed and arrival trace this aggregate is byte-reproducible.
+type MachineStats struct {
+	// Elapsed is the virtual time of the last job completion: the
+	// trace's makespan when the pool started quiescent at time zero.
+	Elapsed units.Time
+	// EnergyJ is the machine's exact integrated energy through Elapsed
+	// (MachineEnergyJ keeps integrating idle draw until shutdown, so it
+	// is at least this).
+	EnergyJ float64
+
+	// Residency, summed over worker cores.
+	Busy, Spin, Idle units.Time
+	// SlowBusy is busy time spent below the maximum frequency.
+	SlowBusy units.Time
+	// FreqBusy maps frequency → busy core-time at that frequency: the
+	// DVFS-tier residency of everything the pool executed.
+	FreqBusy map[units.Freq]units.Time
+
+	// Scheduler totals across all jobs.
+	Tasks, Spawns, Steals, FailedSteals int64
+	TempoSwitches, DVFSCommits, Parks   int64
+}
+
+// MachineStats returns the machine-wide totals through the last job
+// completion. It blocks until the engine goroutine has exited, so call
+// it after Close (like MachineEnergyJ); the returned snapshot is final
+// and immutable. A pool that never completed a job returns the zero
+// aggregate.
+func (p *Pool) MachineStats() MachineStats {
+	<-p.dead
+	s := p.s
+	snap := s.lastDone
+	ms := MachineStats{
+		Elapsed:       s.lastDoneAt,
+		EnergyJ:       snap.joules,
+		Busy:          snap.busy,
+		Spin:          snap.spin,
+		Idle:          snap.idle,
+		SlowBusy:      snap.slow,
+		FreqBusy:      make(map[units.Freq]units.Time, len(snap.freqBusy)),
+		Tasks:         s.lastDoneTasks,
+		Spawns:        s.lastDoneSpawns,
+		Steals:        s.lastDoneSteals,
+		FailedSteals:  snap.failedSteals,
+		TempoSwitches: snap.tempoSwitches,
+		DVFSCommits:   snap.dvfsCommits,
+		Parks:         snap.parks,
+	}
+	for f, t := range snap.freqBusy {
+		ms.FreqBusy[f] = t
+	}
+	return ms
+}
+
 // failRemaining runs when the engine goroutine exits: on a clean
 // shutdown there is nothing left, but if the engine died to a
 // scheduler panic every in-flight and queued job still needs its
@@ -459,6 +522,12 @@ func (s *sched) jobDone(j *jobRun, fromIntake bool) {
 	}
 	s.emit(obs.Event{Kind: obs.JobDone, Job: j.id, Time: now, Worker: -1, Victim: -1,
 		Energy: rep.EnergyJ, Sojourn: now - j.arriveAt})
+	// Freeze the machine aggregate at this completion: MachineStats
+	// reports through the LAST job done, a deterministic virtual
+	// instant, not through the wall-clock-racy shutdown time.
+	s.lastDone = end
+	s.lastDoneAt = now
+	s.lastDoneTasks, s.lastDoneSpawns, s.lastDoneSteals = s.tasks, s.spawns, s.steals
 	var err error
 	switch {
 	case j.failErr != nil:

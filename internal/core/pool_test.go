@@ -444,3 +444,83 @@ func TestPoolQueueingShowsInSojourn(t *testing.T) {
 		t.Fatalf("second job shows no queueing delay: sojourn=%v span=%v", r2.Sojourn, r2.Span)
 	}
 }
+
+// TestPoolMachineStats pins the machine-wide aggregate: energy matches
+// MachineEnergyJ, residency and DVFS-tier busy time are populated, and
+// the scheduler totals cover every job the pool executed — quantities
+// the overlapping per-job window deltas cannot provide by summation.
+func TestPoolMachineStats(t *testing.T) {
+	cfg := Config{Spec: cpu.SystemB(), Workers: 3, Mode: Unified, Seed: 5}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 6
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	reports := make([]Report, jobs)
+	reqs := make([]JobRequest, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		reqs[i] = JobRequest{
+			ID:   int64(i + 1),
+			At:   units.Time(i) * 20 * units.Microsecond,
+			Root: poolWork(12),
+			Done: func(r Report, err error) {
+				if err != nil {
+					t.Errorf("job %d failed: %v", i+1, err)
+				}
+				reports[i] = r
+				wg.Done()
+			},
+		}
+	}
+	if err := p.Submit(reqs...); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ms := p.MachineStats()
+	// MachineStats freezes at the last job completion; the shutdown
+	// meter keeps integrating idle draw until Close lands, so the
+	// lifetime figure bounds it from above.
+	if ms.EnergyJ <= 0 || ms.EnergyJ > p.MachineEnergyJ() {
+		t.Errorf("MachineStats energy %g outside (0, MachineEnergyJ %g]", ms.EnergyJ, p.MachineEnergyJ())
+	}
+	if ms.Elapsed <= 0 || ms.Busy <= 0 {
+		t.Fatalf("degenerate machine stats: %+v", ms)
+	}
+	var lastDone units.Time
+	for i, r := range reports {
+		if done := reqs[i].At + r.Sojourn; done > lastDone {
+			lastDone = done
+		}
+	}
+	if ms.Elapsed != lastDone {
+		t.Errorf("MachineStats elapsed %v != last completion %v", ms.Elapsed, lastDone)
+	}
+	if len(ms.FreqBusy) == 0 {
+		t.Error("no DVFS-tier residency recorded")
+	}
+	var tierBusy units.Time
+	for _, d := range ms.FreqBusy {
+		tierBusy += d
+	}
+	if tierBusy != ms.Busy {
+		t.Errorf("tier residency sums to %v, busy time is %v", tierBusy, ms.Busy)
+	}
+	var tasks, spawns, steals int64
+	for _, r := range reports {
+		tasks += r.Tasks
+		spawns += r.Spawns
+		steals += r.Steals
+	}
+	if ms.Tasks != tasks || ms.Spawns != spawns {
+		t.Errorf("machine tasks/spawns %d/%d != per-job sums %d/%d", ms.Tasks, ms.Spawns, tasks, spawns)
+	}
+	if ms.Steals < steals {
+		t.Errorf("machine steals %d below per-job sum %d", ms.Steals, steals)
+	}
+}

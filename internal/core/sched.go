@@ -31,6 +31,12 @@ type sched struct {
 	// at virtual arrival times instead of one root task (see pool.go).
 	// done then means "pool shut down" rather than "root completed".
 	pool *poolRun
+	// lastDone freezes the machine-wide aggregate at the most recent
+	// job completion (pool mode): the deterministic end-of-trace
+	// snapshot Pool.MachineStats reports.
+	lastDone                                      poolSnap
+	lastDoneAt                                    units.Time
+	lastDoneTasks, lastDoneSpawns, lastDoneSteals int64
 
 	// DVFS commit daemon state: per-domain pending commit time
 	// (0 = none), and the daemon process to wake on new requests.

@@ -2,14 +2,20 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"hermes/internal/bench"
 	"hermes/internal/core"
 	"hermes/internal/cpu"
+	"hermes/internal/sweep"
+	"hermes/internal/synth"
 	"hermes/internal/units"
 )
 
-// figureFns maps paper figure numbers to their regenerators.
+// figureFns maps paper figure numbers to their regenerators. Ids
+// beyond 22 are open-system extensions of the evaluation (the paper's
+// figures are all closed-system); they render through the same Table
+// pipeline so `hermes-bench -fig 23 -csv out/` works like any other.
 var figureFns = map[int]func(*Session) Table{
 	6:  func(s *Session) Table { return s.overall(cpu.SystemA(), 6) },
 	7:  func(s *Session) Table { return s.overall(cpu.SystemB(), 7) },
@@ -28,6 +34,73 @@ var figureFns = map[int]func(*Session) Table{
 	20: func(s *Session) Table { return s.timeSeries(20, "knn", 8) },
 	21: func(s *Session) Table { return s.timeSeries(21, "ray", 16) },
 	22: func(s *Session) Table { return s.timeSeries(22, "ray", 8) },
+	23: func(s *Session) Table {
+		return s.openSystem(23, synth.Spec{Kind: "ticks", N: 64, Grain: 16, Work: 100_000})
+	},
+	24: func(s *Session) Table {
+		return s.openSystem(24, synth.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000})
+	},
+}
+
+// openSystemRates is the offered-load grid of the open-system figures.
+var openSystemRates = []float64{50, 100, 200, 400}
+
+// openSystem renders an open-system figure: baseline-vs-unified curves
+// of latency, queueing delay, energy and steal interference against
+// offered load, measured by the sweep subsystem over the virtual-time
+// Sim pool (seeded Poisson arrivals replayed via SubmitTrace). The
+// arrival window scales with the session's Scale like benchmark input
+// sizes do, so quick sessions stay quick.
+func (s *Session) openSystem(fig int, spec synth.Spec) Table {
+	window := time.Duration(float64(2*time.Second) * s.opts.Scale)
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	cfg := sweep.Config{
+		Workload: spec,
+		Modes:    []core.Mode{core.Baseline, core.Unified},
+		RatesRPS: openSystemRates,
+		Window:   window,
+		Seed:     s.opts.InputSeed,
+		Trials:   s.opts.Trials,
+		Workers:  4,
+	}
+	if s.opts.Verbose && s.Log != nil {
+		cfg.Log = s.Log
+	}
+	res, err := sweep.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("harness: open-system sweep failed: %v", err))
+	}
+	t := Table{
+		Figure: fmt.Sprintf("Figure %d", fig),
+		Title: fmt.Sprintf("Open system (extension): %s under Poisson load, baseline vs unified, 4 workers",
+			spec.Kind),
+		Columns: []string{"mode", "rps", "p50-ms", "p99-ms", "queue99-ms", "J/req", "avg-W", "steals/req", "peak-inflight"},
+		Notes: []string{
+			"extension beyond the paper (its evaluation is closed-system): deterministic",
+			"virtual-time replay; sojourn includes queueing, queue99 = p99 of sojourn-span",
+		},
+	}
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			t.Rows = append(t.Rows, []string{
+				c.Mode, fmt.Sprintf("%g", p.OfferedRPS),
+				fmt.Sprintf("%.3f", p.P50SojournMS), fmt.Sprintf("%.3f", p.P99SojournMS),
+				fmt.Sprintf("%.3f", p.P99QueueMS),
+				fmt.Sprintf("%.4f", p.JoulesPerRequest), fmt.Sprintf("%.2f", p.AvgPowerW),
+				fmt.Sprintf("%.2f", p.StealsPerRequest), fmt.Sprint(p.PeakInflight),
+			})
+		}
+		if c.KneeRPS > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: latency knee at %g rps (p99 > %g× unloaded p50 %.3fms)",
+				c.Mode, c.KneeRPS, res.KneeFactor, c.UnloadedP50MS))
+		} else {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: no latency knee within the grid (unloaded p50 %.3fms)",
+				c.Mode, c.UnloadedP50MS))
+		}
+	}
+	return t
 }
 
 // norm fills in the default tempo pair so cache keys unify the "nil =

@@ -59,7 +59,7 @@ func TestCompareDirections(t *testing.T) {
 
 func TestFigureRegistryComplete(t *testing.T) {
 	ids := Figures()
-	want := []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22}
+	want := []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24}
 	if len(ids) != len(want) {
 		t.Fatalf("figures = %v", ids)
 	}
@@ -136,6 +136,39 @@ func TestFigure19TraceTiny(t *testing.T) {
 	}
 	if len(tab.Columns) != 3 {
 		t.Fatalf("trace columns = %v", tab.Columns)
+	}
+}
+
+// TestFigure23OpenSystemTiny renders the open-system extension figure
+// at tiny scale: baseline and unified curves over the full rate grid,
+// deterministic across two sessions.
+func TestFigure23OpenSystemTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness end-to-end is not short")
+	}
+	render := func() Table {
+		tab, err := tinySession().Figure(23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	tab := render()
+	if len(tab.Rows) != 2*len(openSystemRates) { // 2 modes × rate grid
+		t.Fatalf("figure 23 rows = %d, want %d", len(tab.Rows), 2*len(openSystemRates))
+	}
+	modes := map[string]bool{}
+	for _, row := range tab.Rows {
+		modes[row[0]] = true
+	}
+	if !modes["baseline"] || !modes["hermes"] {
+		t.Fatalf("figure 23 missing a mode: %v", modes)
+	}
+	if len(tab.Notes) < 4 { // 2 method notes + one knee line per mode
+		t.Fatalf("figure 23 notes = %v", tab.Notes)
+	}
+	if again := render(); again.CSV() != tab.CSV() {
+		t.Fatal("open-system figure not deterministic across sessions")
 	}
 }
 

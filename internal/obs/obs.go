@@ -26,7 +26,12 @@ const (
 	// EnergySample is one 100 Hz meter reading: Power is the
 	// instantaneous draw, Energy the cumulative joules so far.
 	EnergySample
-	// JobStart marks a submitted job beginning execution.
+	// JobStart marks a submitted job entering the system: on the
+	// multi-job pool it fires at the job's (virtual) arrival time, when
+	// the job may still be queued behind busy workers — not when its
+	// first task begins executing. In-flight gauges built from
+	// JobStart/JobDone therefore measure arrival→completion depth,
+	// queued jobs included.
 	JobStart
 	// JobDone marks a job completing; Energy carries the job's
 	// integrated joules.

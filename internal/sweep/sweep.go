@@ -1,0 +1,524 @@
+// Package sweep runs open-system evaluations over the virtual-time
+// Sim pool: for each point of a (workload × tempo-mode × arrival-rate)
+// grid it generates a seeded Poisson arrival trace, replays it through
+// Runtime.SubmitTrace on the deterministic discrete-event machine, and
+// measures the open-system quantities the paper's closed-system
+// figures cannot show — sojourn percentiles, queueing delay,
+// joules/request, average power, steals/request and DVFS-tier
+// residency as functions of offered load, per tempo mode.
+//
+// Every point is deterministic: a fixed config and seed reproduce
+// byte-identical JSON artifacts, so the curves are CI-diffable
+// evaluation results rather than wall-clock experiments. Knee
+// detection marks the first rate whose p99 sojourn exceeds a
+// configurable multiple of the unloaded p50 — where the mode's
+// latency curve leaves the flat regime.
+package sweep
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"hermes"
+	"hermes/internal/synth"
+	"hermes/internal/units"
+)
+
+// traceSalt is the PCG stream constant shared with the wall-clock load
+// generator, so a one-point sweep and `-load -backend sim` replay the
+// same seeded Poisson trace.
+const traceSalt = 0x9e3779b97f4a7c15
+
+// DefaultKneeFactor is the knee threshold when Config leaves it unset:
+// the curve has "kneed" once p99 sojourn exceeds 5× the unloaded p50.
+const DefaultKneeFactor = 5.0
+
+// Trace generates the seeded Poisson arrival trace for one point:
+// exponential interarrivals at rate rps over the window, each arrival
+// running the workload spec's task. The trace depends only on (spec,
+// rps, window, seed).
+func Trace(spec synth.Spec, rps float64, window time.Duration, seed int64) ([]hermes.Arrival, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("sweep: rps must be positive, got %g", rps)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("sweep: window must be positive, got %v", window)
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), traceSalt))
+	horizon := units.Time(window.Nanoseconds()) * units.Nanosecond
+	var arrivals []hermes.Arrival
+	at := units.Time(0)
+	for {
+		at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
+		if at > horizon {
+			break
+		}
+		task, _, err := spec.Task()
+		if err != nil {
+			return nil, err
+		}
+		arrivals = append(arrivals, hermes.Arrival{At: at, Task: task})
+	}
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("sweep: no arrivals in a %v window at %g rps; raise the rate or the window", window, rps)
+	}
+	return arrivals, nil
+}
+
+// Span is one job's residence interval in the system, from virtual
+// arrival to virtual completion.
+type Span struct {
+	Arrive, Done units.Time
+}
+
+// PeakInflight returns the maximum number of jobs simultaneously in
+// the system, counting each job from its arrival to its completion —
+// not merely while executing — so queued-but-unstarted jobs deepen the
+// measurement exactly as they deepen the system. An arrival and a
+// completion at the same instant count the arrival first, matching the
+// wall-clock generator, whose gauge increments at submission before
+// any same-moment completion decrements it.
+func PeakInflight(spans []Span) int64 {
+	type edge struct {
+		t units.Time
+		d int64
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	for _, s := range spans {
+		edges = append(edges, edge{s.Arrive, 1}, edge{s.Done, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d > edges[j].d
+	})
+	var depth, peak int64
+	for _, e := range edges {
+		depth += e.d
+		if depth > peak {
+			peak = depth
+		}
+	}
+	return peak
+}
+
+// Knee returns the first rate whose p99 sojourn exceeds
+// factor × unloadedP50 — the saturation knee of an open-system latency
+// curve — or 0 when no grid point crosses the threshold. rates and
+// p99MS run in parallel, rates ascending.
+func Knee(rates []float64, p99MS []float64, unloadedP50MS, factor float64) float64 {
+	if unloadedP50MS <= 0 || factor <= 0 {
+		return 0
+	}
+	for i, r := range rates {
+		if i < len(p99MS) && p99MS[i] > factor*unloadedP50MS {
+			return r
+		}
+	}
+	return 0
+}
+
+// Tier is one DVFS frequency tier's share of the machine's busy time
+// over a point's run.
+type Tier struct {
+	FreqKHz int64   `json:"freq_khz"`
+	BusyS   float64 `json:"busy_s"`
+	Frac    float64 `json:"frac"`
+}
+
+// Point is the measured outcome of one (workload, mode, rate) grid
+// point. All latency quantities are virtual time at full picosecond
+// resolution, pooled across the point's trials.
+type Point struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	Arrivals     int64   `json:"arrivals"`
+	Completed    int64   `json:"completed"`
+	Errors       int64   `json:"errors"`
+	PeakInflight int64   `json:"peak_inflight"`
+	// MakespanS is the virtual time from the window's start to the last
+	// completion, summed over trials; ObservedRPS is completions over
+	// that time.
+	MakespanS   float64 `json:"makespan_s"`
+	ObservedRPS float64 `json:"observed_rps"`
+
+	P50SojournMS float64 `json:"p50_sojourn_ms"`
+	P95SojournMS float64 `json:"p95_sojourn_ms"`
+	P99SojournMS float64 `json:"p99_sojourn_ms"`
+	MaxSojournMS float64 `json:"max_sojourn_ms"`
+	// Queueing delay is Sojourn − Span: time in the system before (or
+	// between) execution, the pure open-system penalty.
+	P50QueueMS float64 `json:"p50_queue_ms"`
+	P95QueueMS float64 `json:"p95_queue_ms"`
+	P99QueueMS float64 `json:"p99_queue_ms"`
+
+	JoulesPerRequest float64 `json:"joules_per_request"`
+	AvgPowerW        float64 `json:"avg_power_w"`
+	StealsPerRequest float64 `json:"steals_per_request"`
+	DroppedEvents    uint64  `json:"dropped_events"`
+
+	// Tiers is the machine's DVFS residency (share of busy core-time
+	// per frequency), fastest tier first.
+	Tiers []Tier `json:"tiers"`
+}
+
+// PointConfig parameterizes one grid point for RunPoint.
+type PointConfig struct {
+	Workload synth.Spec
+	Mode     hermes.Mode
+	RPS      float64
+	Window   time.Duration
+	Seed     int64
+	Trials   int // <1 means 1; trial t shifts the seed by t
+	Workers  int // 0 = backend default
+	// Log, when non-nil, receives a diagnostic line per failed job.
+	Log func(string)
+}
+
+// trialOut is one trial's raw measurements.
+type trialOut struct {
+	arrivals  int64
+	errors    int64
+	sojourns  []units.Time
+	queues    []units.Time
+	spans     []Span
+	jobJoules float64
+	steals    int64
+	makespan  units.Time
+	dropped   uint64
+	machine   hermes.MachineStats
+}
+
+// runTrial replays one seeded trace through a fresh Runtime and
+// collects raw per-job and machine-level measurements.
+func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
+	var out trialOut
+	arrivals, err := Trace(cfg.Workload, cfg.RPS, cfg.Window, seed)
+	if err != nil {
+		return out, err
+	}
+	ropts := []hermes.Option{
+		hermes.WithBackend(hermes.Sim),
+		hermes.WithMode(cfg.Mode),
+		hermes.WithSeed(seed),
+	}
+	if cfg.Workers > 0 {
+		ropts = append(ropts, hermes.WithWorkers(cfg.Workers))
+	}
+	rt, err := hermes.New(ropts...)
+	if err != nil {
+		return out, err
+	}
+	jobs, err := rt.SubmitTrace(nil, arrivals)
+	if err != nil {
+		rt.Close()
+		return out, err
+	}
+	out.arrivals = int64(len(arrivals))
+	for i, j := range jobs {
+		rep, err := j.Wait()
+		// A failed job occupied the system from arrival until it
+		// failed (its partial report still carries the real sojourn),
+		// so it counts toward in-flight depth and the makespan exactly
+		// as the wall-clock generator's gauge counts errored requests —
+		// only the latency percentiles and energy stay success-only.
+		done := arrivals[i].At + rep.Sojourn
+		out.spans = append(out.spans, Span{Arrive: arrivals[i].At, Done: done})
+		if done > out.makespan {
+			out.makespan = done
+		}
+		if err != nil {
+			out.errors++
+			if cfg.Log != nil {
+				cfg.Log(fmt.Sprintf("sweep: job %d failed: %v", j.ID(), err))
+			}
+			continue
+		}
+		out.sojourns = append(out.sojourns, rep.Sojourn)
+		q := rep.Sojourn - rep.Span
+		if q < 0 {
+			q = 0
+		}
+		out.queues = append(out.queues, q)
+		out.jobJoules += rep.EnergyJ
+		out.steals += rep.Steals
+	}
+	// One close, error-checked: the engine must have shut down cleanly
+	// for the machine ledger below to be final.
+	if err := rt.Close(); err != nil {
+		return out, err
+	}
+	out.dropped = rt.EventsDropped()
+	ms, err := rt.MachineStats()
+	if err != nil {
+		return out, err
+	}
+	out.machine = ms
+	return out, nil
+}
+
+// RunPoint measures one grid point: Trials seeded traces (seed,
+// seed+1, …) each replayed on a fresh simulated machine, percentiles
+// pooled over every completed job, energy and counts summed. The
+// result is deterministic in the config.
+func RunPoint(cfg PointConfig) (Point, error) {
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	pt := Point{OfferedRPS: cfg.RPS}
+	var (
+		sojourns, queues []units.Time
+		machineJ         float64
+		machineElapsed   units.Time
+		tierBusy         = map[units.Freq]units.Time{}
+		totalBusy        units.Time
+		steals           int64
+		makespan         units.Time
+	)
+	for trial := 0; trial < trials; trial++ {
+		out, err := runTrial(cfg, cfg.Seed+int64(trial))
+		if err != nil {
+			return Point{}, err
+		}
+		pt.Arrivals += out.arrivals
+		pt.Errors += out.errors
+		pt.Completed += int64(len(out.sojourns))
+		pt.DroppedEvents += out.dropped
+		if p := PeakInflight(out.spans); p > pt.PeakInflight {
+			pt.PeakInflight = p
+		}
+		sojourns = append(sojourns, out.sojourns...)
+		queues = append(queues, out.queues...)
+		makespan += out.makespan
+		pt.JoulesPerRequest += out.jobJoules // divided below
+		steals += out.steals
+		machineJ += out.machine.EnergyJ
+		machineElapsed += out.machine.Elapsed
+		totalBusy += out.machine.Busy
+		for f, d := range out.machine.FreqBusy {
+			tierBusy[f] += d
+		}
+	}
+	sortTimes(sojourns)
+	sortTimes(queues)
+	pt.MakespanS = makespan.Seconds()
+	if pt.MakespanS > 0 {
+		pt.ObservedRPS = float64(pt.Completed) / pt.MakespanS
+	}
+	pt.P50SojournMS = pctMS(sojourns, 0.50)
+	pt.P95SojournMS = pctMS(sojourns, 0.95)
+	pt.P99SojournMS = pctMS(sojourns, 0.99)
+	pt.MaxSojournMS = pctMS(sojourns, 1)
+	pt.P50QueueMS = pctMS(queues, 0.50)
+	pt.P95QueueMS = pctMS(queues, 0.95)
+	pt.P99QueueMS = pctMS(queues, 0.99)
+	if pt.Completed > 0 {
+		pt.JoulesPerRequest /= float64(pt.Completed)
+		pt.StealsPerRequest = float64(steals) / float64(pt.Completed)
+	} else {
+		pt.JoulesPerRequest = 0
+	}
+	if s := machineElapsed.Seconds(); s > 0 {
+		pt.AvgPowerW = machineJ / s
+	}
+	freqs := make([]units.Freq, 0, len(tierBusy))
+	for f := range tierBusy {
+		freqs = append(freqs, f)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+	for _, f := range freqs {
+		tier := Tier{FreqKHz: int64(f), BusyS: tierBusy[f].Seconds()}
+		if totalBusy > 0 {
+			tier.Frac = float64(tierBusy[f]) / float64(totalBusy)
+		}
+		pt.Tiers = append(pt.Tiers, tier)
+	}
+	return pt, nil
+}
+
+// sortTimes sorts virtual times ascending.
+func sortTimes(ts []units.Time) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+// pctMS returns the p-quantile (0..1, nearest rank) of sorted virtual
+// times in milliseconds at full picosecond resolution — sub-millisecond
+// sim sojourns survive instead of truncating through microseconds.
+func pctMS(sorted []units.Time, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(units.Millisecond)
+}
+
+// Config describes a whole sweep: the grid plus shared run shape.
+type Config struct {
+	Workload   synth.Spec
+	Modes      []hermes.Mode
+	RatesRPS   []float64 // ascending; Run sorts a copy if not
+	Window     time.Duration
+	Seed       int64
+	Trials     int
+	Workers    int
+	KneeFactor float64 // 0 = DefaultKneeFactor
+	// Log, when non-nil, receives one progress line per completed point.
+	Log func(string)
+}
+
+// Curve is one tempo mode's measured curve over the rate grid.
+type Curve struct {
+	Mode string `json:"mode"`
+	// UnloadedP50MS is the p50 sojourn at the grid's lowest rate — the
+	// knee detector's baseline for "unloaded" latency.
+	UnloadedP50MS float64 `json:"unloaded_p50_ms"`
+	// KneeRPS is the first rate whose p99 sojourn exceeds
+	// KneeFactor × UnloadedP50MS; 0 means no knee inside the grid.
+	KneeRPS float64 `json:"knee_rps"`
+	Points  []Point `json:"points"`
+}
+
+// Result is the sweep artifact: one curve per tempo mode over the
+// shared rate grid. It marshals deterministically for a fixed config.
+type Result struct {
+	Workload   synth.Spec `json:"workload"`
+	RatesRPS   []float64  `json:"rates_rps"`
+	WindowS    float64    `json:"window_s"`
+	Seed       int64      `json:"seed"`
+	Trials     int        `json:"trials"`
+	Workers    int        `json:"workers"`
+	KneeFactor float64    `json:"knee_factor"`
+	Curves     []Curve    `json:"curves"`
+}
+
+// Run executes the whole grid and assembles the artifact.
+func Run(cfg Config) (Result, error) {
+	spec, err := cfg.Workload.Validate()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Workload = spec
+	if len(cfg.Modes) == 0 {
+		return Result{}, fmt.Errorf("sweep: no tempo modes given")
+	}
+	if len(cfg.RatesRPS) == 0 {
+		return Result{}, fmt.Errorf("sweep: no arrival rates given")
+	}
+	rates := append([]float64(nil), cfg.RatesRPS...)
+	sort.Float64s(rates)
+	for _, r := range rates {
+		if r <= 0 {
+			return Result{}, fmt.Errorf("sweep: rates must be positive, got %g", r)
+		}
+	}
+	if cfg.Window <= 0 {
+		return Result{}, fmt.Errorf("sweep: window must be positive, got %v", cfg.Window)
+	}
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	factor := cfg.KneeFactor
+	if factor == 0 {
+		factor = DefaultKneeFactor
+	}
+	if factor < 0 {
+		return Result{}, fmt.Errorf("sweep: knee factor must be positive, got %g", factor)
+	}
+	res := Result{
+		Workload:   cfg.Workload,
+		RatesRPS:   rates,
+		WindowS:    cfg.Window.Seconds(),
+		Seed:       cfg.Seed,
+		Trials:     trials,
+		Workers:    cfg.Workers,
+		KneeFactor: factor,
+	}
+	for _, mode := range cfg.Modes {
+		curve := Curve{Mode: mode.String()}
+		var p99s []float64
+		for _, rate := range rates {
+			pt, err := RunPoint(PointConfig{
+				Workload: cfg.Workload,
+				Mode:     mode,
+				RPS:      rate,
+				Window:   cfg.Window,
+				Seed:     cfg.Seed,
+				Trials:   trials,
+				Workers:  cfg.Workers,
+				Log:      cfg.Log,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: %s @ %g rps: %w", mode, rate, err)
+			}
+			curve.Points = append(curve.Points, pt)
+			p99s = append(p99s, pt.P99SojournMS)
+			if cfg.Log != nil {
+				cfg.Log(fmt.Sprintf("sweep %s %s @ %g rps: p50=%.3fms p99=%.3fms J/req=%.4f peak=%d",
+					cfg.Workload.Kind, mode, rate, pt.P50SojournMS, pt.P99SojournMS, pt.JoulesPerRequest, pt.PeakInflight))
+			}
+		}
+		curve.UnloadedP50MS = curve.Points[0].P50SojournMS
+		curve.KneeRPS = Knee(rates, p99s, curve.UnloadedP50MS, factor)
+		res.Curves = append(res.Curves, curve)
+	}
+	return res, nil
+}
+
+// CSV renders the sweep flat, one row per (mode, rate) point, with the
+// tier residency packed as freqkHz:frac pairs.
+func (r Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("mode,offered_rps,arrivals,completed,errors,peak_inflight,observed_rps," +
+		"p50_sojourn_ms,p95_sojourn_ms,p99_sojourn_ms,max_sojourn_ms," +
+		"p50_queue_ms,p95_queue_ms,p99_queue_ms," +
+		"joules_per_request,avg_power_w,steals_per_request,knee_rps,tier_residency\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			tiers := make([]string, len(p.Tiers))
+			for i, t := range p.Tiers {
+				tiers[i] = fmt.Sprintf("%d:%.6f", t.FreqKHz, t.Frac)
+			}
+			fmt.Fprintf(&b, "%s,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%g,%s\n",
+				c.Mode, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
+				p.P50SojournMS, p.P95SojournMS, p.P99SojournMS, p.MaxSojournMS,
+				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
+				p.JoulesPerRequest, p.AvgPowerW, p.StealsPerRequest, c.KneeRPS,
+				strings.Join(tiers, ";"))
+		}
+	}
+	return b.String()
+}
+
+// String renders the sweep as one compact table per mode.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "open-system sweep: %s, window=%.3gs, seed=%d, trials=%d, workers=%d\n",
+		r.Workload, r.WindowS, r.Seed, r.Trials, r.Workers)
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "mode %s (unloaded p50 %.3fms", c.Mode, c.UnloadedP50MS)
+		if c.KneeRPS > 0 {
+			fmt.Fprintf(&b, ", knee @ %g rps ×%g", c.KneeRPS, r.KneeFactor)
+		} else {
+			fmt.Fprintf(&b, ", no knee ≤ %g rps", r.RatesRPS[len(r.RatesRPS)-1])
+		}
+		b.WriteString(")\n")
+		b.WriteString("  rps      p50ms    p99ms    queue99  J/req    avgW     steals/req  peak\n")
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "  %-8g %-8.3f %-8.3f %-8.3f %-8.4f %-8.2f %-11.3f %d\n",
+				p.OfferedRPS, p.P50SojournMS, p.P99SojournMS, p.P99QueueMS,
+				p.JoulesPerRequest, p.AvgPowerW, p.StealsPerRequest, p.PeakInflight)
+		}
+	}
+	return b.String()
+}

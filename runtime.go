@@ -247,6 +247,22 @@ func (r *Runtime) SubmitTrace(ctx context.Context, arrivals []Arrival) ([]*Job, 
 	return se.SubmitTrace(ctx, arrivals)
 }
 
+// MachineStats returns the simulated machine's totals over the
+// Runtime's whole lifetime — integrated energy, residency by DVFS
+// tier, steal and tempo counts — the quantities per-job Reports carry
+// only as deltas over their own (overlapping) sojourn windows.
+// Open-system sweeps read run-level energy, average power and
+// tier-residency curves from here. Sim backend only (Native returns an
+// error); it blocks until the engine has stopped, so call it after
+// Close.
+func (r *Runtime) MachineStats() (MachineStats, error) {
+	se, ok := r.exec.(*simExec)
+	if !ok {
+		return MachineStats{}, fmt.Errorf("hermes: MachineStats needs the Sim backend (runtime is %v)", r.backend)
+	}
+	return se.pool.MachineStats(), nil
+}
+
 // Run submits root and waits for its report: the submit-and-wait
 // convenience for callers that want one job at a time.
 func (r *Runtime) Run(ctx context.Context, root Task) (Report, error) {

@@ -677,3 +677,51 @@ func TestObserverOptionsMutuallyExclusive(t *testing.T) {
 		t.Fatal("nil async observer accepted; want error")
 	}
 }
+
+// TestMachineStats: the Sim backend surfaces machine-lifetime totals
+// after Close; Native has no discrete-event ledger and must refuse.
+func TestMachineStats(t *testing.T) {
+	rt, err := hermes.New(hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2), hermes.WithMode(hermes.Unified))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := leafWorkload(32)
+	var arrivals []hermes.Arrival
+	for i := 0; i < 4; i++ {
+		arrivals = append(arrivals, hermes.Arrival{At: hermes.Time(i) * 50 * hermes.Microsecond, Task: root})
+	}
+	jobs, err := rt.SubmitTrace(context.Background(), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobJ float64
+	for _, j := range jobs {
+		rep, err := j.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobJ += rep.EnergyJ
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := rt.MachineStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.EnergyJ <= 0 || ms.Busy <= 0 || len(ms.FreqBusy) == 0 {
+		t.Fatalf("degenerate machine stats: %+v", ms)
+	}
+	if ms.EnergyJ < jobJ-1e-9 {
+		t.Errorf("machine energy %g below per-job attribution sum %g", ms.EnergyJ, jobJ)
+	}
+
+	nrt, err := hermes.New(hermes.WithBackend(hermes.Native), hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nrt.Close()
+	if _, err := nrt.MachineStats(); err == nil {
+		t.Fatal("MachineStats on Native accepted; want error")
+	}
+}
