@@ -1,0 +1,257 @@
+package hermes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hermes/internal/cluster"
+	"hermes/internal/core"
+	"hermes/internal/job"
+	"hermes/internal/obs"
+)
+
+// Placement describes how a Cluster routes arriving jobs across its
+// machines: a named policy family plus parameters. Values are plain
+// data (JSON-serialisable), so sweep configs can carry them; build
+// them with the Placement* constructors or ParsePlacement.
+type Placement = cluster.Policy
+
+// ParsePlacement maps a placement-policy name onto its Placement:
+// "random", "jsq", "p2c" (or any "p<k>c"), "gossip" — the one parser
+// for every CLI flag.
+func ParsePlacement(s string) (Placement, error) { return cluster.Parse(s) }
+
+// PlacementNames lists the canonical policy names ParsePlacement
+// accepts, for CLI help text and validation.
+func PlacementNames() []string { return cluster.Known() }
+
+// PlacementRandom places each job on a uniformly random machine —
+// load-blind, the spreading baseline.
+func PlacementRandom() Placement { return Placement{Kind: "random"} }
+
+// PlacementJSQ is join-shortest-queue: each job joins the machine with
+// the fewest jobs in its system, ties to the lowest index.
+func PlacementJSQ() Placement { return Placement{Kind: "jsq"} }
+
+// PlacementPowerOfChoices is power-of-k-choices backed by the
+// cluster's idle-machine heap: while any machine is fully idle the job
+// goes to the lowest-indexed idle one (consolidating load so
+// higher-indexed machines stay parked in the lowest DVFS tier); once
+// the fleet is saturated, k sampled machines compete and the least
+// loaded wins. k = 2 is the classic p2c.
+func PlacementPowerOfChoices(k int) Placement {
+	return Placement{Kind: "pkc", Choices: k}
+}
+
+// PlacementGossip keeps placement load-blind (random) and balances via
+// gossip instead: every interval, idle machines pull a batch of
+// unstarted jobs from the most-loaded peer as seen through queue views
+// refreshed at least staleness ago — realistically stale information.
+// interval <= 0 selects the default; staleness 0 defaults to the
+// interval; batch 0 pulls half the victim's visible backlog.
+func PlacementGossip(interval, staleness Time, batch int) Placement {
+	p := Placement{Kind: "gossip", Interval: interval, Staleness: staleness, Batch: batch}
+	if p.Interval <= 0 {
+		p.Interval = cluster.DefaultGossipInterval
+	}
+	return p
+}
+
+// ClusterStats is the fleet-wide aggregate through the cluster's last
+// job completion: one MachineStats per machine (all snapshotted at the
+// same virtual instant, idle machines' floor draw included), placement
+// and migration counts, and the fleet energy total.
+type ClusterStats = core.ClusterStats
+
+// Cluster is a multi-machine virtual-time scheduler: n independent
+// simulated machines multiplexed inside one discrete-event engine,
+// fed by a placement tier. It serves the same job stream API as a
+// Runtime (Submit, SubmitTrace) with the same determinism contract —
+// a fixed option set, seed and arrival trace reproduce byte-identical
+// per-job Reports, per-machine MachineStats and fleet totals — and is
+// Sim-only: there is no native multi-machine executor.
+//
+// Construct with NewCluster(WithMachines(n), WithPlacement(p), plus
+// any machine options: WithWorkers, WithMode, WithSpec, WithSeed, …).
+type Cluster struct {
+	inner    *core.Cluster
+	cfg      Config
+	machines int
+	policy   Placement
+	sink     *obs.Async
+
+	mu     sync.Mutex
+	nextID int64
+}
+
+// NewCluster builds a multi-machine cluster from functional options.
+// Machine options (WithWorkers, WithMode, WithSpec, WithSeed, …) apply
+// to every machine; WithMachines sets the fleet size (default 1) and
+// WithPlacement the routing policy (default power-of-two-choices).
+// The Native backend has no fleet — WithBackend(Native) is an error.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	var s settings
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&s); err != nil {
+			return nil, err
+		}
+	}
+	if s.backend != Sim {
+		return nil, fmt.Errorf("hermes: NewCluster needs the Sim backend (got %v)", s.backend)
+	}
+	machines := s.machines
+	if machines == 0 {
+		machines = 1
+	}
+	policy := PlacementPowerOfChoices(2)
+	if s.placement != nil {
+		policy = *s.placement
+	}
+	policy, err := policy.Validate()
+	if err != nil {
+		return nil, err
+	}
+	var sink *obs.Async
+	if s.asyncObs != nil {
+		if s.cfg.Observer != nil {
+			return nil, errors.New("hermes: WithObserver and WithAsyncObserver are mutually exclusive")
+		}
+		sink = obs.NewAsync(s.asyncObs, s.asyncBuf)
+		s.cfg.Observer = sink
+	}
+	fail := func(err error) (*Cluster, error) {
+		if sink != nil {
+			sink.Close()
+		}
+		return nil, err
+	}
+	interval, staleness, batch := policy.GossipParams()
+	ccfg := core.ClusterConfig{
+		Machines:        machines,
+		Machine:         s.cfg,
+		Placement:       policy.Placer(),
+		GossipInterval:  interval,
+		GossipStaleness: staleness,
+		GossipBatch:     batch,
+	}
+	inner, err := core.NewCluster(ccfg)
+	if err != nil {
+		return fail(err)
+	}
+	return &Cluster{
+		inner:    inner,
+		cfg:      inner.Config().Machine,
+		machines: machines,
+		policy:   policy,
+		sink:     sink,
+	}, nil
+}
+
+// Config returns the validated per-machine configuration every machine
+// in the fleet runs with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machines returns the fleet size.
+func (c *Cluster) Machines() int { return c.machines }
+
+// Placement returns the routing policy the cluster was built with.
+func (c *Cluster) Placement() Placement { return c.policy }
+
+// Submit enqueues root as a new job arriving at the engine's current
+// virtual time; the placement tier picks its machine at that instant.
+// Job.Wait returns the per-job Report.
+func (c *Cluster) Submit(ctx context.Context, root Task) (*Job, error) {
+	jobs, err := c.submit(ctx, []Arrival{{At: -1, Task: root}})
+	if err != nil {
+		return nil, err
+	}
+	return jobs[0], nil
+}
+
+// SubmitTrace schedules a whole batch of jobs at explicit virtual
+// arrival times, atomically, and returns their handles in trace order
+// — the reproducible open-system entry point, exactly as on a Runtime
+// but across the fleet: each arrival is routed by the placement policy
+// at its virtual instant. ctx cancels every job in the trace.
+func (c *Cluster) SubmitTrace(ctx context.Context, arrivals []Arrival) ([]*Job, error) {
+	return c.submit(ctx, arrivals)
+}
+
+func (c *Cluster) submit(ctx context.Context, arrivals []Arrival) ([]*Job, error) {
+	for _, a := range arrivals {
+		if a.Task == nil {
+			return nil, ErrNilTask
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := make([]*Job, len(arrivals))
+	reqs := make([]core.JobRequest, len(arrivals))
+	// Same id discipline as the single-machine simulator backend: ids
+	// and the handoff share c.mu so a failed submission rolls back and
+	// ids stay gapless.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, a := range arrivals {
+		c.nextID++
+		j := job.New(c.nextID)
+		jobs[i] = j
+		reqs[i] = core.JobRequest{
+			ID:        j.ID(),
+			At:        a.At,
+			Root:      a.Task,
+			Cancelled: func() bool { return ctx.Err() != nil },
+			Done: func(rep core.Report, err error) {
+				if errors.Is(err, core.ErrInterrupted) {
+					err = ctx.Err()
+				}
+				j.Finish(rep, err)
+			},
+		}
+	}
+	err := c.inner.Submit(reqs...)
+	switch {
+	case errors.Is(err, core.ErrPoolClosed):
+		err = ErrClosed
+	case errors.Is(err, core.ErrNilRoot):
+		err = ErrNilTask
+	}
+	if err != nil {
+		c.nextID -= int64(len(arrivals))
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Run submits root and waits for its report.
+func (c *Cluster) Run(ctx context.Context, root Task) (Report, error) {
+	j, err := c.Submit(ctx, root)
+	if err != nil {
+		return Report{}, err
+	}
+	return j.Wait()
+}
+
+// ClusterStats returns the fleet aggregate through the cluster's last
+// job completion — every machine snapshotted at the same virtual
+// instant, so energy comparisons across policies charge idle machines
+// over equal windows. It blocks until the engine has stopped: call it
+// after Close.
+func (c *Cluster) ClusterStats() ClusterStats { return c.inner.Stats() }
+
+// Close rejects further submissions, completes every submitted job,
+// and stops the engine; with WithAsyncObserver it then drains the sink.
+// Safe to call more than once.
+func (c *Cluster) Close() error {
+	err := c.inner.Close()
+	if c.sink != nil {
+		c.sink.Close()
+	}
+	return err
+}

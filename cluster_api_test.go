@@ -1,0 +1,162 @@
+package hermes_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hermes"
+)
+
+// TestClusterServesTrace drives the public multi-machine API end to
+// end: a fleet behind power-of-two-choices serves an arrival trace,
+// every job reports, and the fleet ledger adds up.
+func TestClusterServesTrace(t *testing.T) {
+	c, err := hermes.NewCluster(
+		hermes.WithMachines(4),
+		hermes.WithPlacement(hermes.PlacementPowerOfChoices(2)),
+		hermes.WithSpec(hermes.SystemB()),
+		hermes.WithWorkers(2),
+		hermes.WithMode(hermes.Unified),
+		hermes.WithSeed(17),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machines() != 4 {
+		t.Fatalf("Machines() = %d, want 4", c.Machines())
+	}
+	root, _ := leafWorkload(32)
+	var arrivals []hermes.Arrival
+	for i := 0; i < 6; i++ {
+		arrivals = append(arrivals, hermes.Arrival{At: hermes.Time(i) * 80 * hermes.Microsecond, Task: root})
+	}
+	jobs, err := c.SubmitTrace(context.Background(), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		rep, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i+1, err)
+		}
+		if rep.Tasks == 0 || rep.EnergyJ <= 0 {
+			t.Fatalf("job %d degenerate report: %+v", i+1, rep)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.ClusterStats()
+	if st.Completed != int64(len(arrivals)) {
+		t.Fatalf("completed %d of %d", st.Completed, len(arrivals))
+	}
+	if len(st.Machines) != 4 || len(st.Placed) != 4 {
+		t.Fatalf("fleet shape wrong: %d machines, %d placed slots", len(st.Machines), len(st.Placed))
+	}
+	var placed int64
+	var energy float64
+	for m, ms := range st.Machines {
+		if ms.Elapsed != st.Elapsed {
+			t.Fatalf("machine %d window %v, fleet %v", m, ms.Elapsed, st.Elapsed)
+		}
+		placed += st.Placed[m]
+		energy += ms.EnergyJ
+	}
+	if placed != st.Completed {
+		t.Fatalf("placed %d jobs but completed %d", placed, st.Completed)
+	}
+	if energy != st.EnergyJ || st.EnergyJ <= 0 {
+		t.Fatalf("fleet energy %g, machine sum %g", st.EnergyJ, energy)
+	}
+}
+
+// TestClusterDeterministicReports: the public API keeps the simulator
+// contract — identical options and trace give identical reports.
+func TestClusterDeterministicReports(t *testing.T) {
+	run := func() []string {
+		c, err := hermes.NewCluster(
+			hermes.WithMachines(3),
+			hermes.WithPlacement(hermes.PlacementGossip(0, 0, 0)),
+			hermes.WithSpec(hermes.SystemB()),
+			hermes.WithWorkers(2),
+			hermes.WithMode(hermes.Unified),
+			hermes.WithSeed(23),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, _ := leafWorkload(24)
+		var arrivals []hermes.Arrival
+		for i := 0; i < 5; i++ {
+			arrivals = append(arrivals, hermes.Arrival{At: hermes.Time(i) * 60 * hermes.Microsecond, Task: root})
+		}
+		jobs, err := c.SubmitTrace(context.Background(), arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, j := range jobs {
+			rep, err := j.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fmt.Sprintf("%+v", rep))
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d diverged between identical runs:\n%s\nvs\n%s", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestClusterOptionFencing: cluster-only options are rejected by New,
+// NewCluster refuses the Native backend, and bad policies fail fast.
+func TestClusterOptionFencing(t *testing.T) {
+	if _, err := hermes.New(hermes.WithMachines(4)); err == nil {
+		t.Fatal("New accepted WithMachines")
+	}
+	if _, err := hermes.New(hermes.WithPlacement(hermes.PlacementJSQ())); err == nil {
+		t.Fatal("New accepted WithPlacement")
+	}
+	if _, err := hermes.NewCluster(hermes.WithBackend(hermes.Native)); err == nil {
+		t.Fatal("NewCluster accepted the Native backend")
+	}
+	if _, err := hermes.NewCluster(hermes.WithMachines(0)); err == nil {
+		t.Fatal("NewCluster accepted zero machines")
+	}
+	if _, err := hermes.NewCluster(hermes.WithPlacement(hermes.Placement{Kind: "spray"})); err == nil {
+		t.Fatal("NewCluster accepted an unknown policy kind")
+	}
+	if _, err := hermes.ParsePlacement("spray"); err == nil {
+		t.Fatal("ParsePlacement accepted an unknown policy")
+	}
+	p, err := hermes.ParsePlacement("p3c")
+	if err != nil || p.Choices != 3 {
+		t.Fatalf("ParsePlacement(p3c) = %+v, %v", p, err)
+	}
+	// Defaults: a one-machine cluster with the default policy works.
+	c, err := hermes.NewCluster(hermes.WithSpec(hermes.SystemB()), hermes.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machines() != 1 {
+		t.Fatalf("default fleet size %d, want 1", c.Machines())
+	}
+	if got := c.Placement().String(); got != "p2c" {
+		t.Fatalf("default policy %q, want p2c", got)
+	}
+	rep, err := c.Run(context.Background(), func(ctx hermes.Ctx) { ctx.Work(1000) })
+	if err != nil || rep.Tasks == 0 {
+		t.Fatalf("single-machine cluster run: %+v, %v", rep, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

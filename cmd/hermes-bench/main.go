@@ -73,6 +73,8 @@ func main() {
 		sweepMode  = flag.Bool("sweep", false, "run the open-system (mode × rate) sweep on the Sim backend")
 		rates      = flag.String("rates", "25,50,100,200", "sweep: comma-separated offered-load grid, requests/second")
 		modes      = flag.String("modes", "baseline,unified", "sweep: comma-separated tempo modes")
+		machines   = flag.String("machines", "", "sweep: comma-separated fleet sizes; non-empty selects the cluster sweep (one -modes entry)")
+		placement  = flag.String("placement", "p2c", "cluster sweep: comma-separated placement policies (random, jsq, p2c/p<k>c, gossip)")
 		kneeFactor = flag.Float64("kneefactor", sweep.DefaultKneeFactor, "sweep: knee threshold as a multiple of the unloaded p50 sojourn")
 		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
 		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
@@ -117,6 +119,8 @@ func main() {
 			},
 			Rates:      *rates,
 			Modes:      *modes,
+			Machines:   *machines,
+			Placement:  *placement,
 			Window:     *duration,
 			Seed:       *seed,
 			Trials:     *trials,

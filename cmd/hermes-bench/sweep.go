@@ -2,12 +2,14 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"hermes"
 	"hermes/internal/sweep"
 	"hermes/internal/synth"
 )
@@ -17,6 +19,8 @@ type sweepOpts struct {
 	Spec       synth.Spec
 	Rates      string // comma-separated offered RPS grid
 	Modes      string // comma-separated tempo modes
+	Machines   string // comma-separated fleet sizes; "" = single-machine sweep
+	Placement  string // comma-separated placement policies (cluster sweep)
 	Window     time.Duration
 	Seed       int64
 	Trials     int
@@ -38,14 +42,25 @@ func splitCommaList(s string) []string {
 	return out
 }
 
-// parseRates parses the -rates grid.
+// parseRates parses and validates the -rates grid: every entry must be
+// a positive number and appear once.
 func parseRates(list string) ([]float64, error) {
 	var rates []float64
+	seen := map[float64]bool{}
 	for _, s := range splitCommaList(list) {
 		r, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: bad rate %q: %v", s, err)
 		}
+		// NaN parses without error and slips past every comparison;
+		// reject it (and infinities) together with non-positive rates.
+		if !(r > 0) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("sweep: rates must be positive finite numbers, got %q", s)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("sweep: duplicate rate %q", s)
+		}
+		seen[r] = true
 		rates = append(rates, r)
 	}
 	if len(rates) == 0 {
@@ -54,8 +69,57 @@ func parseRates(list string) ([]float64, error) {
 	return rates, nil
 }
 
+// parseMachines parses and validates the -machines grid: positive
+// integer fleet sizes, each appearing once.
+func parseMachines(list string) ([]int, error) {
+	var machines []int
+	seen := map[int]bool{}
+	for _, s := range splitCommaList(list) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad machine count %q: %v", s, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("sweep: machine counts must be positive, got %q", s)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("sweep: duplicate machine count %q", s)
+		}
+		seen[n] = true
+		machines = append(machines, n)
+	}
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("sweep: -machines is empty")
+	}
+	return machines, nil
+}
+
+// parsePlacements parses and validates the -placement list: known
+// policy names only (random, jsq, p2c/p<k>c, gossip), each once.
+func parsePlacements(list string) ([]hermes.Placement, error) {
+	var policies []hermes.Placement
+	seen := map[string]bool{}
+	for _, s := range splitCommaList(list) {
+		p, err := hermes.ParsePlacement(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %v", err)
+		}
+		if seen[p.String()] {
+			return nil, fmt.Errorf("sweep: duplicate placement policy %q", s)
+		}
+		seen[p.String()] = true
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("sweep: -placement is empty")
+	}
+	return policies, nil
+}
+
 // runSweep drives the open-system sweep from the CLI and writes the
-// JSON (and optionally CSV) artifacts.
+// JSON (and optionally CSV) artifacts. A non-empty -machines grid
+// selects the cluster sweep (placement policy × fleet size × rate)
+// instead of the single-machine tempo-mode sweep.
 func runSweep(opts sweepOpts) error {
 	rates, err := parseRates(opts.Rates)
 	if err != nil {
@@ -67,6 +131,9 @@ func runSweep(opts sweepOpts) error {
 	}
 	if len(modes) == 0 {
 		return fmt.Errorf("sweep: -modes is empty")
+	}
+	if opts.Machines != "" {
+		return runClusterSweep(opts, rates, modes)
 	}
 	cfg := sweep.Config{
 		Workload:   opts.Spec,
@@ -94,6 +161,56 @@ func runSweep(opts sweepOpts) error {
 			return err
 		}
 		path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_%s.csv", res.Workload.Kind))
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runClusterSweep drives the multi-machine (placement × fleet size ×
+// rate) sweep. The grid runs under ONE tempo mode — pass exactly one
+// via -modes.
+func runClusterSweep(opts sweepOpts, rates []float64, modes []hermes.Mode) error {
+	if len(modes) != 1 {
+		return fmt.Errorf("sweep: the cluster sweep runs one tempo mode; -modes gave %d", len(modes))
+	}
+	machines, err := parseMachines(opts.Machines)
+	if err != nil {
+		return err
+	}
+	policies, err := parsePlacements(opts.Placement)
+	if err != nil {
+		return err
+	}
+	cfg := sweep.ClusterConfig{
+		Workload:   opts.Spec,
+		Mode:       modes[0],
+		Policies:   policies,
+		Machines:   machines,
+		RatesRPS:   rates,
+		Window:     opts.Window,
+		Seed:       opts.Seed,
+		Trials:     opts.Trials,
+		Workers:    opts.Workers,
+		KneeFactor: opts.KneeFactor,
+	}
+	if opts.Verbose {
+		cfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	res, err := sweep.RunCluster(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	if err := writeJSON(res, opts.JSONPath); err != nil {
+		return err
+	}
+	if opts.CSVDir != "" {
+		if err := os.MkdirAll(opts.CSVDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_cluster_%s.csv", res.Workload.Kind))
 		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 			return err
 		}

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"slices"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -346,14 +348,21 @@ type jobIndexJSON struct {
 // plus completed ones inside the bounded retention window — sorted by
 // id ascending, scrape-friendly by construction: the response size is
 // bounded by max-inflight + the retention window regardless of uptime.
-// ?status=running|done|failed filters rows; ?limit=N keeps only the N
-// highest-id (most recent) matching rows.
+// ?status=running|done|failed and ?workload=fib|matmul|ticks filter
+// rows (they compose); ?limit=N keeps only the N highest-id (most
+// recent) matching rows.
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	statusFilter := r.URL.Query().Get("status")
 	switch statusFilter {
 	case "", "running", "done", "failed":
 	default:
 		writeError(w, http.StatusBadRequest, "bad status filter %q (want running, done or failed)", statusFilter)
+		return
+	}
+	workloadFilter := r.URL.Query().Get("workload")
+	if workloadFilter != "" && !slices.Contains(synth.Kinds, workloadFilter) {
+		writeError(w, http.StatusBadRequest, "bad workload filter %q (want one of %s)",
+			workloadFilter, strings.Join(synth.Kinds, ", "))
 		return
 	}
 	limit := -1
@@ -396,6 +405,9 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			e.SojournMS = float64(at.Sub(ir.rec.submitted).Nanoseconds()) / 1e6
 		}
 		if statusFilter != "" && e.Status != statusFilter {
+			continue
+		}
+		if workloadFilter != "" && e.Workload != workloadFilter {
 			continue
 		}
 		entries = append(entries, e)

@@ -501,3 +501,69 @@ func TestJobIndex(t *testing.T) {
 	}
 	waitDoneOrPruned(t, ts.URL, slowID, 60*time.Second)
 }
+
+// TestJobIndexWorkloadFilter covers GET /jobs?workload=: rows filter
+// by workload kind, the filter composes with status and limit, and
+// unknown kinds are rejected loudly.
+func TestJobIndexWorkloadFilter(t *testing.T) {
+	ts, srv := newTestServer(t, 8, 1<<12)
+	srv.retainDone = 16
+	submit := func(body string) int64 {
+		t.Helper()
+		id, code := postJob(t, ts.URL, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: HTTP %d", body, code)
+		}
+		if st := waitDoneOrPruned(t, ts.URL, id, 30*time.Second); st.Status != "done" {
+			t.Fatalf("job %d finished %q", id, st.Status)
+		}
+		return id
+	}
+	var tickIDs, fibIDs []int64
+	for i := 0; i < 3; i++ {
+		tickIDs = append(tickIDs, submit(`{"workload":"ticks","n":4,"grain":4,"work":100000}`))
+	}
+	for i := 0; i < 2; i++ {
+		fibIDs = append(fibIDs, submit(`{"workload":"fib","n":10,"grain":4}`))
+	}
+
+	var fib jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?workload=fib", &fib); code != http.StatusOK {
+		t.Fatalf("index?workload=fib: HTTP %d", code)
+	}
+	if fib.Count != len(fibIDs) {
+		t.Fatalf("fib filter count %d, want %d: %+v", fib.Count, len(fibIDs), fib)
+	}
+	for _, e := range fib.Jobs {
+		if e.Workload != "fib" {
+			t.Fatalf("fib filter leaked %+v", e)
+		}
+	}
+	// Composes with status: every ticks job is done, so the pair of
+	// filters returns exactly the ticks set.
+	var done jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?workload=ticks&status=done", &done); code != http.StatusOK {
+		t.Fatalf("index?workload=ticks&status=done: HTTP %d", code)
+	}
+	if done.Count != len(tickIDs) {
+		t.Fatalf("composed filter count %d, want %d", done.Count, len(tickIDs))
+	}
+	// ...and with limit, keeping the highest-id matching row.
+	var limited jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?workload=fib&limit=1", &limited); code != http.StatusOK {
+		t.Fatalf("index?workload=fib&limit=1: HTTP %d", code)
+	}
+	if limited.Count != 1 || limited.Jobs[0].ID != fibIDs[len(fibIDs)-1] {
+		t.Fatalf("workload+limit filter: %+v", limited)
+	}
+	// No matches is an empty result, not an error.
+	var none jobIndexJSON
+	if code := getJSON(t, ts.URL+"/jobs?workload=matmul", &none); code != http.StatusOK || none.Count != 0 {
+		t.Fatalf("empty match: HTTP %d, %+v", code, none)
+	}
+	// Unknown kinds are a client error.
+	var v map[string]any
+	if code := getJSON(t, ts.URL+"/jobs?workload=bitcoin", &v); code != http.StatusBadRequest {
+		t.Fatalf("bad workload filter: HTTP %d, want 400", code)
+	}
+}

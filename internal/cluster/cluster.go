@@ -1,0 +1,187 @@
+// Package cluster is the placement tier for multi-machine hermes
+// simulations: named, parseable policies that route arriving jobs
+// across a fleet of simulated machines (core.Cluster). The policies
+// mirror the classic load-balancing menu — load-blind random,
+// join-shortest-queue, power-of-k-choices backed by the cluster's
+// idle-machine heap, and a gossip variant where placement stays blind
+// and idle machines periodically pull work from loaded peers over
+// deliberately stale queue views.
+//
+// Policies are pure descriptions (Kind + parameters), so they survive
+// JSON round trips in sweep configs; Placer materialises the
+// core.Placement behind one.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"hermes/internal/core"
+	"hermes/internal/units"
+)
+
+// DefaultGossipInterval is the gossip tick period when the policy does
+// not set one: fine-grained against millisecond-scale service times,
+// coarse against the simulator's microsecond events.
+const DefaultGossipInterval = 500 * units.Microsecond
+
+// Policy describes one placement policy by name and parameters.
+type Policy struct {
+	// Kind is the policy family: "random", "jsq", "pkc" or "gossip".
+	Kind string `json:"kind"`
+	// Choices is k for the "pkc" family (2 = the classic
+	// power-of-two-choices); ignored otherwise.
+	Choices int `json:"choices,omitempty"`
+	// Interval, Staleness and Batch configure the gossip tier for the
+	// "gossip" family (see core.ClusterConfig); ignored otherwise.
+	Interval  units.Time `json:"interval,omitempty"`
+	Staleness units.Time `json:"staleness,omitempty"`
+	Batch     int        `json:"batch,omitempty"`
+}
+
+// Known lists the canonical policy names a CLI should advertise.
+func Known() []string { return []string{"random", "jsq", "p2c", "gossip"} }
+
+// Parse maps a policy name onto a Policy: "random", "jsq", "p2c" (or
+// any "p<k>c", e.g. "p3c"), and "gossip". The result is validated.
+func Parse(s string) (Policy, error) {
+	switch s {
+	case "random":
+		return Policy{Kind: "random"}, nil
+	case "jsq":
+		return Policy{Kind: "jsq"}, nil
+	case "gossip":
+		return Policy{Kind: "gossip", Interval: DefaultGossipInterval}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "p"); ok {
+		if digits, ok := strings.CutSuffix(rest, "c"); ok {
+			if k, err := strconv.Atoi(digits); err == nil && k >= 1 {
+				return Policy{Kind: "pkc", Choices: k}, nil
+			}
+		}
+	}
+	return Policy{}, fmt.Errorf("cluster: unknown placement policy %q (want one of %s)",
+		s, strings.Join(Known(), ", "))
+}
+
+// String renders the canonical name Parse accepts.
+func (p Policy) String() string {
+	if p.Kind == "pkc" {
+		k := p.Choices
+		if k == 0 {
+			k = 2
+		}
+		return fmt.Sprintf("p%dc", k)
+	}
+	return p.Kind
+}
+
+// Validate fills family defaults and rejects unknown kinds or
+// nonsensical parameters.
+func (p Policy) Validate() (Policy, error) {
+	switch p.Kind {
+	case "random", "jsq":
+	case "pkc":
+		if p.Choices == 0 {
+			p.Choices = 2
+		}
+		if p.Choices < 1 {
+			return p, fmt.Errorf("cluster: pkc needs at least one choice, got %d", p.Choices)
+		}
+	case "gossip":
+		if p.Interval == 0 {
+			p.Interval = DefaultGossipInterval
+		}
+		if p.Interval < 0 {
+			return p, fmt.Errorf("cluster: gossip interval must be positive, got %v", p.Interval)
+		}
+		if p.Staleness < 0 {
+			return p, fmt.Errorf("cluster: gossip staleness must not be negative, got %v", p.Staleness)
+		}
+		if p.Batch < 0 {
+			return p, fmt.Errorf("cluster: gossip batch must not be negative, got %d", p.Batch)
+		}
+	default:
+		return p, fmt.Errorf("cluster: unknown placement policy kind %q", p.Kind)
+	}
+	return p, nil
+}
+
+// Placer materialises the core.Placement behind the policy. The
+// "gossip" family places load-blind (random) — balancing is the gossip
+// tier's job, configured via GossipParams.
+func (p Policy) Placer() core.Placement {
+	switch p.Kind {
+	case "jsq":
+		return jsqPlacer{}
+	case "pkc":
+		k := p.Choices
+		if k == 0 {
+			k = 2
+		}
+		return pkcPlacer{k: k}
+	default: // "random", "gossip"
+		return randomPlacer{}
+	}
+}
+
+// GossipParams returns the gossip-tier configuration for the "gossip"
+// family and zeros (gossip disabled) for every other policy.
+func (p Policy) GossipParams() (interval, staleness units.Time, batch int) {
+	if p.Kind != "gossip" {
+		return 0, 0, 0
+	}
+	interval = p.Interval
+	if interval == 0 {
+		interval = DefaultGossipInterval
+	}
+	return interval, p.Staleness, p.Batch
+}
+
+// randomPlacer is uniform random, load-blind: the spreading baseline
+// consolidating policies are measured against.
+type randomPlacer struct{}
+
+func (randomPlacer) Place(v core.PlacementView, rng *rand.Rand) int {
+	return rng.Intn(v.Machines())
+}
+
+// jsqPlacer is join-shortest-queue over exact instantaneous loads,
+// ties to the lowest machine index.
+type jsqPlacer struct{}
+
+func (jsqPlacer) Place(v core.PlacementView, _ *rand.Rand) int {
+	best, load := 0, v.Load(0)
+	for m := 1; m < v.Machines(); m++ {
+		if l := v.Load(m); l < load {
+			best, load = m, l
+		}
+	}
+	return best
+}
+
+// pkcPlacer is power-of-k-choices backed by the cluster's idle-machine
+// heap: while any machine is idle, take the lowest-indexed one (this
+// is what consolidates — higher-indexed machines stay parked in the
+// lowest DVFS tier); once the fleet is saturated, sample k machines
+// and join the least loaded, ties to the lowest sampled index. The rng
+// only advances when sampling actually happens, keeping the stream
+// deterministic per (trace, seed).
+type pkcPlacer struct{ k int }
+
+func (p pkcPlacer) Place(v core.PlacementView, rng *rand.Rand) int {
+	if m, ok := v.IdleMachine(); ok {
+		return m
+	}
+	n := v.Machines()
+	best, load := -1, 0
+	for i := 0; i < p.k; i++ {
+		m := rng.Intn(n)
+		if l := v.Load(m); best < 0 || l < load || (l == load && m < best) {
+			best, load = m, l
+		}
+	}
+	return best
+}

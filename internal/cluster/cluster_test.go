@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"hermes/internal/core"
+	"hermes/internal/units"
+)
+
+// fakeView is a canned PlacementView for exercising placers without a
+// running cluster.
+type fakeView struct {
+	loads []int
+	idle  int // lowest idle index, -1 for none
+}
+
+func (f fakeView) Machines() int  { return len(f.loads) }
+func (f fakeView) Load(m int) int { return f.loads[m] }
+func (f fakeView) IdleMachine() (int, bool) {
+	if f.idle < 0 {
+		return 0, false
+	}
+	return f.idle, true
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range Known() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("Parse(%q).String() = %q", name, p.String())
+		}
+		if _, err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) not valid: %v", name, err)
+		}
+	}
+	p, err := Parse("p4c")
+	if err != nil || p.Kind != "pkc" || p.Choices != 4 {
+		t.Fatalf("Parse(p4c) = %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "p0c", "pxc", "rr", "least-loaded"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	p, err := Policy{Kind: "pkc"}.Validate()
+	if err != nil || p.Choices != 2 {
+		t.Fatalf("pkc defaults: %+v, %v", p, err)
+	}
+	g, err := Policy{Kind: "gossip"}.Validate()
+	if err != nil || g.Interval != DefaultGossipInterval {
+		t.Fatalf("gossip defaults: %+v, %v", g, err)
+	}
+	if _, err := (Policy{Kind: "spray"}).Validate(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := (Policy{Kind: "gossip", Batch: -1}).Validate(); err == nil {
+		t.Fatal("negative gossip batch accepted")
+	}
+}
+
+func TestGossipParams(t *testing.T) {
+	i, s, b := Policy{Kind: "gossip", Interval: 100 * units.Microsecond,
+		Staleness: 300 * units.Microsecond, Batch: 2}.GossipParams()
+	if i != 100*units.Microsecond || s != 300*units.Microsecond || b != 2 {
+		t.Fatalf("gossip params: %v %v %d", i, s, b)
+	}
+	for _, kind := range []string{"random", "jsq", "pkc"} {
+		if i, s, b := (Policy{Kind: kind, Interval: 1, Batch: 1}).GossipParams(); i != 0 || s != 0 || b != 0 {
+			t.Fatalf("%s leaked gossip params: %v %v %d", kind, i, s, b)
+		}
+	}
+}
+
+func TestJSQPlacer(t *testing.T) {
+	v := fakeView{loads: []int{3, 1, 1, 2}, idle: -1}
+	if m := (jsqPlacer{}).Place(v, nil); m != 1 {
+		t.Fatalf("jsq chose %d, want lowest-index shortest queue 1", m)
+	}
+}
+
+func TestPKCPlacerPrefersIdleHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := fakeView{loads: []int{2, 0, 0, 1}, idle: 1}
+	p := Policy{Kind: "pkc", Choices: 2}.Placer()
+	for i := 0; i < 10; i++ {
+		if m := p.Place(v, rng); m != 1 {
+			t.Fatalf("p2c ignored the idle heap: chose %d", m)
+		}
+	}
+	// Saturated fleet: samples k and joins the least loaded of them —
+	// both samples landing on the heaviest machine is legal but rare,
+	// so over many draws the lightest machine dominates the heaviest.
+	sat := fakeView{loads: []int{5, 1, 4, 2}, idle: -1}
+	counts := make([]int, len(sat.loads))
+	for i := 0; i < 400; i++ {
+		counts[p.Place(sat, rng)]++
+	}
+	if counts[1] <= counts[0] || counts[1] <= counts[2] {
+		t.Fatalf("p2c did not favour the lightest machine: %v over loads %v", counts, sat.loads)
+	}
+}
+
+func TestRandomPlacerCoversFleet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := fakeView{loads: make([]int, 4), idle: 0}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[(randomPlacer{}).Place(v, rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random placement did not cover the fleet: %v", seen)
+	}
+}
+
+// TestPlacerSatisfiesCoreInterface pins that every family materialises
+// a core.Placement.
+func TestPlacerSatisfiesCoreInterface(t *testing.T) {
+	for _, name := range Known() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var _ core.Placement = p.Placer()
+	}
+}

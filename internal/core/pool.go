@@ -103,6 +103,12 @@ type jobRun struct {
 	startAt     units.Time
 	interrupted bool
 	failErr     error
+	// delivered marks that the job has entered some machine: arrival
+	// framing (arriveAt, JobStart) happens exactly once, while gossip
+	// migration may re-deliver an unstarted job to another machine,
+	// re-baselining its snapshot there without restarting its sojourn
+	// clock.
+	delivered bool
 
 	tasks, spawns, steals int64
 	energyJ               float64 // exact interval-partitioned share of machine joules
@@ -468,13 +474,19 @@ func (s *sched) intakeLoop(p *sim.Proc) {
 // snapshots for the delta report, JobStart framing, root task onto a
 // worker deque, and a wake for the (possibly halted) machine. A job
 // already cancelled at arrival completes immediately without
-// executing.
+// executing. Re-delivery (gossip migration moving an unstarted job to
+// another machine) re-baselines the machine snapshot on the new
+// machine but keeps the original arrival: the job's sojourn spans its
+// whole time in the cluster, wherever it ran.
 func (s *sched) deliver(j *jobRun) {
 	now := s.eng.Now()
-	j.arriveAt = now
 	s.touch()
 	j.snap = s.poolSnapNow()
-	s.emit(obs.Event{Kind: obs.JobStart, Job: j.id, Time: now, Worker: -1, Victim: -1})
+	if !j.delivered {
+		j.delivered = true
+		j.arriveAt = now
+		s.emit(obs.Event{Kind: obs.JobStart, Job: j.id, Time: now, Worker: -1, Victim: -1})
+	}
 	s.pool.active = append(s.pool.active, j)
 	if s.taskCancelled(j) {
 		s.jobDone(j, true)
@@ -539,6 +551,9 @@ func (s *sched) jobDone(j *jobRun, fromIntake bool) {
 	j.done = nil
 	done(rep, err)
 	s.trimSamples()
+	if s.onJobDone != nil {
+		s.onJobDone()
+	}
 	if !fromIntake && len(s.pool.active) == 0 && s.pool.stop && s.pool.arrivals.Len() == 0 {
 		s.pool.intake.Wake()
 	}

@@ -31,6 +31,17 @@ type sched struct {
 	// at virtual arrival times instead of one root task (see pool.go).
 	// done then means "pool shut down" rather than "root completed".
 	pool *poolRun
+	// mid and tag identify this machine inside a multi-machine cluster
+	// (cluster.go): mid stamps every observer event's Machine field and
+	// tag prefixes process names ("m3/worker0"). Zero values for the
+	// ordinary single-machine pool.
+	mid int
+	tag string
+	// onJobDone, if non-nil, runs at the end of every jobDone — the
+	// cluster's hook for idle-machine tracking and the fleet-wide stats
+	// snapshot, taken at the deterministic virtual instant of each
+	// completion.
+	onJobDone func()
 	// lastDone freezes the machine-wide aggregate at the most recent
 	// job completion (pool mode): the deterministic end-of-trace
 	// snapshot Pool.MachineStats reports.
@@ -73,9 +84,17 @@ func Run(cfg Config, root wl.Task) Report {
 // newSched builds the simulated machine, meter and workers for a
 // validated config, without starting any engine process.
 func newSched(cfg Config) *sched {
+	return newSchedOn(sim.NewEngine(), cfg)
+}
+
+// newSchedOn builds a sched over an existing engine, so several
+// simulated machines can share one virtual timeline (cluster mode):
+// each keeps its own cores, meter, workers and daemons, but every
+// event lands in the same deterministic order.
+func newSchedOn(eng *sim.Engine, cfg Config) *sched {
 	s := &sched{
 		cfg:         cfg,
-		eng:         sim.NewEngine(),
+		eng:         eng,
 		mach:        cpu.NewMachine(cfg.Spec),
 		byCore:      map[*cpu.Core]*worker{},
 		prof:        tempo.NewProfiler(cfg.ProfileWindow),
@@ -101,10 +120,10 @@ func newSched(cfg Config) *sched {
 // lands after theirs at t=0 — irrelevant for correctness, fixed
 // for determinism.
 func (s *sched) start() {
-	s.dvfsProc = s.eng.Go("dvfsd", s.dvfsLoop)
-	s.profProc = s.eng.Go("profiler", s.profLoop)
+	s.dvfsProc = s.eng.Go(s.tag+"dvfsd", s.dvfsLoop)
+	s.profProc = s.eng.Go(s.tag+"profiler", s.profLoop)
 	if s.pool != nil {
-		s.pool.intake = s.eng.Go("intake", s.intakeLoop)
+		s.pool.intake = s.eng.Go(s.tag+"intake", s.intakeLoop)
 	}
 	for _, w := range s.workers {
 		w := w
@@ -208,6 +227,7 @@ func (s *sched) emit(ev obs.Event) {
 	if s.cfg.Observer == nil {
 		return
 	}
+	ev.Machine = s.mid
 	s.cfg.Observer.Observe(ev)
 }
 

@@ -100,7 +100,7 @@ func newDeque(kind DequeKind) deque.Queue[*task] {
 	return deque.New[*task](64)
 }
 
-func (w *worker) name() string { return fmt.Sprintf("worker%d", w.id) }
+func (w *worker) name() string { return fmt.Sprintf("%sworker%d", w.s.tag, w.id) }
 
 // run is the process body. In single-run mode worker 0 executes the
 // root task directly (the program's main); everyone else — and every
@@ -132,6 +132,7 @@ func (w *worker) schedule() {
 		w.outOfWork()
 		if t := w.s.poolTake(); t != nil {
 			w.backoff = 0
+			w.poolResume()
 			w.runTask(t)
 			continue
 		}
@@ -160,11 +161,51 @@ func (w *worker) poolIdle() bool {
 		return false
 	}
 	w.backoff = 0
+	w.poolPark()
 	w.setState(cpu.IdleHalt)
 	w.idlePark = true
 	w.proc.ParkUntilWake()
 	w.idlePark = false
 	return true
+}
+
+// poolPark files the slowest tempo before the core halts — race to
+// idle, then drop V/f. A halted core's leakage follows its domain's
+// held voltage, so an empty machine parks in the lowest DVFS tier
+// instead of idling at whatever frequency its last job left behind
+// (or, for a machine that never ran anything, the boot-time maximum).
+// This is what makes fleet-level consolidation pay: placement policies
+// that concentrate load keep whole machines in this cheapest idle
+// state. No-op under Baseline, which models no tempo control at all.
+func (w *worker) poolPark() {
+	if w.s.cfg.Mode == Baseline {
+		return
+	}
+	if w.s.cfg.Mode.Workpath() {
+		w.wpLevel = w.s.cfg.MaxTempoLevels - 1
+	}
+	if w.s.cfg.Mode.Workload() {
+		w.th.SetTier(w.th.TierFor(0))
+	}
+	w.s.retune(w)
+}
+
+// poolResume re-derives tempo for a worker taking a fresh root from
+// the inject queue: executing a new job's root is the most immediate
+// work in the system, so leftover thief procrastination (including the
+// park-time floor poolPark set) is shed, while the workload tier comes
+// from the worker's (empty) deque per Figure 4(b).
+func (w *worker) poolResume() {
+	if w.s.cfg.Mode == Baseline {
+		return
+	}
+	if w.s.cfg.Mode.Workpath() {
+		w.wpLevel = 0
+	}
+	if w.s.cfg.Mode.Workload() {
+		w.th.SetTier(w.th.TierFor(w.dq.Size()))
+	}
+	w.s.retune(w)
 }
 
 // setState transitions the hosting core's activity state, integrating

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hermes"
 	"hermes/internal/bench"
 	"hermes/internal/core"
 	"hermes/internal/cpu"
@@ -40,6 +41,8 @@ var figureFns = map[int]func(*Session) Table{
 	24: func(s *Session) Table {
 		return s.openSystem(24, synth.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000})
 	},
+	25: func(s *Session) Table { return s.clusterPolicies(25) },
+	26: func(s *Session) Table { return s.clusterScaling(26) },
 }
 
 // openSystemRates is the offered-load grid of the open-system figures.
@@ -100,6 +103,107 @@ func (s *Session) openSystem(fig int, spec synth.Spec) Table {
 				c.Mode, c.UnloadedP50MS))
 		}
 	}
+	return t
+}
+
+// clusterSpec is the workload the cluster figures run: service times
+// of a few milliseconds per job on a 2-worker machine, so offered
+// loads in the hundreds of rps genuinely contend for the fleet.
+func clusterSpec() synth.Spec {
+	return synth.Spec{Kind: "ticks", N: 128, Grain: 4, Work: 200_000}
+}
+
+// clusterRates is the offered-load grid of the cluster figures.
+var clusterRates = []float64{100, 300, 600}
+
+// runClusterFigure executes one cluster sweep for a figure, sharing
+// the session's window scaling and seed discipline with openSystem.
+func (s *Session) runClusterFigure(policies []hermes.Placement, machines []int) sweep.ClusterResult {
+	window := time.Duration(float64(time.Second) * s.opts.Scale)
+	if window < 40*time.Millisecond {
+		window = 40 * time.Millisecond
+	}
+	cfg := sweep.ClusterConfig{
+		Workload: clusterSpec(),
+		Mode:     core.Unified,
+		Policies: policies,
+		Machines: machines,
+		RatesRPS: clusterRates,
+		Window:   window,
+		Seed:     s.opts.InputSeed,
+		Trials:   s.opts.Trials,
+		Workers:  2,
+	}
+	if s.opts.Verbose && s.Log != nil {
+		cfg.Log = s.Log
+	}
+	res, err := sweep.RunCluster(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("harness: cluster sweep failed: %v", err))
+	}
+	return res
+}
+
+// clusterRows flattens cluster curves into figure rows.
+func clusterRows(t *Table, res sweep.ClusterResult) {
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			t.Rows = append(t.Rows, []string{
+				c.Policy, fmt.Sprint(c.Machines), fmt.Sprintf("%g", p.OfferedRPS),
+				fmt.Sprintf("%.3f", p.P50SojournMS), fmt.Sprintf("%.3f", p.P99SojournMS),
+				fmt.Sprintf("%.4f", p.FleetJoulesPerRequest), fmt.Sprintf("%.2f", p.FleetAvgPowerW),
+				fmt.Sprint(p.IdleMachines), fmt.Sprint(p.Migrated), fmt.Sprint(p.PeakInflight),
+			})
+		}
+	}
+}
+
+// clusterPolicies renders Figure 25 (extension): placement policies
+// compared on one fleet — fleet joules/request, tail latency and
+// idle-machine consolidation vs offered load for random, jsq, p2c and
+// gossip over six 2-worker machines.
+func (s *Session) clusterPolicies(fig int) Table {
+	res := s.runClusterFigure([]hermes.Placement{
+		hermes.PlacementRandom(),
+		hermes.PlacementJSQ(),
+		hermes.PlacementPowerOfChoices(2),
+		hermes.PlacementGossip(0, 0, 0),
+	}, []int{6})
+	t := Table{
+		Figure: fmt.Sprintf("Figure %d", fig),
+		Title: fmt.Sprintf("Cluster (extension): placement policies on 6 machines, %s under Poisson load, unified mode",
+			clusterSpec().Kind),
+		Columns: []string{"policy", "machines", "rps", "p50-ms", "p99-ms", "fleetJ/req", "fleet-W", "idle-machines", "migrated", "peak-inflight"},
+		Notes: []string{
+			"extension beyond the paper: N simulated machines in one virtual-time engine behind a placement tier;",
+			"fleet energy charges every machine over the same window, so consolidating policies (p2c's idle heap)",
+			"win by leaving whole machines parked in the lowest DVFS tier while random's collisions queue jobs",
+		},
+	}
+	clusterRows(&t, res)
+	return t
+}
+
+// clusterScaling renders Figure 26 (extension): fleet-size scaling for
+// the consolidating vs spreading pair — how joules/request and the
+// latency tail move as the same offered load runs over 2, 4 and 8
+// machines.
+func (s *Session) clusterScaling(fig int) Table {
+	res := s.runClusterFigure([]hermes.Placement{
+		hermes.PlacementPowerOfChoices(2),
+		hermes.PlacementRandom(),
+	}, []int{2, 4, 8})
+	t := Table{
+		Figure: fmt.Sprintf("Figure %d", fig),
+		Title: fmt.Sprintf("Cluster (extension): fleet-size scaling, p2c vs random, %s under Poisson load, unified mode",
+			clusterSpec().Kind),
+		Columns: []string{"policy", "machines", "rps", "p50-ms", "p99-ms", "fleetJ/req", "fleet-W", "idle-machines", "migrated", "peak-inflight"},
+		Notes: []string{
+			"extension beyond the paper: growing the fleet at fixed offered load trades fleet joules/request",
+			"(more idle floor draw) against tail latency; p2c keeps the extra machines parked until needed",
+		},
+	}
+	clusterRows(&t, res)
 	return t
 }
 

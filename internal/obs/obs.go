@@ -87,6 +87,11 @@ type Event struct {
 	Sojourn units.Time
 	// Job is the owning job id (JobStart, JobDone), 0 otherwise.
 	Job int64
+	// Machine is the index of the simulated machine the event occurred
+	// on. Single-machine runtimes emit 0 for every event; cluster runs
+	// (hermes.NewCluster) stamp the owning machine, so one observer
+	// stream can be demultiplexed per machine.
+	Machine int
 }
 
 // Observer receives scheduler events. Observe must not block for long

@@ -1,0 +1,421 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hermes"
+	"hermes/internal/synth"
+	"hermes/internal/units"
+)
+
+// ClusterConfig describes a cluster sweep: a (placement policy ×
+// machine count × arrival rate) grid under one workload and tempo
+// mode. Every (rate, trial) cell replays the SAME seeded trace through
+// every policy and fleet size, so curves differ only by placement —
+// the experiment the fleet-consolidation claim rests on.
+type ClusterConfig struct {
+	Workload   synth.Spec
+	Mode       hermes.Mode
+	Policies   []hermes.Placement
+	Machines   []int // fleet sizes; ascending preferred
+	RatesRPS   []float64
+	Window     time.Duration
+	Seed       int64
+	Trials     int
+	Workers    int // per machine; 0 = backend default
+	KneeFactor float64
+	// Log, when non-nil, receives one progress line per completed point.
+	Log func(string)
+}
+
+// MachinePoint is one machine's share of a grid point, summed over
+// trials — the per-machine consolidation picture: which machines the
+// policy actually woke, how much energy each drew, and how often one
+// stayed entirely idle.
+type MachinePoint struct {
+	Machine  int   `json:"machine"`
+	Placed   int64 `json:"placed"`
+	Migrated int64 `json:"migrated"`
+	Tasks    int64 `json:"tasks"`
+	Steals   int64 `json:"steals"`
+	// EnergyJ is the machine's integrated draw over the fleet window
+	// (idle floor included); BusyFrac its busy core-time over
+	// workers × elapsed.
+	EnergyJ  float64 `json:"energy_j"`
+	BusyFrac float64 `json:"busy_frac"`
+	// IdleTrials counts trials in which this machine executed no task
+	// at all — parked in the lowest DVFS tier for the whole run.
+	IdleTrials int `json:"idle_trials"`
+}
+
+// ClusterPoint is the measured outcome of one (policy, machines, rate)
+// grid point, pooled over trials.
+type ClusterPoint struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	Arrivals     int64   `json:"arrivals"`
+	Completed    int64   `json:"completed"`
+	Errors       int64   `json:"errors"`
+	PeakInflight int64   `json:"peak_inflight"`
+	MakespanS    float64 `json:"makespan_s"`
+	ObservedRPS  float64 `json:"observed_rps"`
+
+	P50SojournMS float64 `json:"p50_sojourn_ms"`
+	P95SojournMS float64 `json:"p95_sojourn_ms"`
+	P99SojournMS float64 `json:"p99_sojourn_ms"`
+	MaxSojournMS float64 `json:"max_sojourn_ms"`
+	P50QueueMS   float64 `json:"p50_queue_ms"`
+	P95QueueMS   float64 `json:"p95_queue_ms"`
+	P99QueueMS   float64 `json:"p99_queue_ms"`
+
+	// FleetJoulesPerRequest divides the WHOLE fleet's energy — idle
+	// machines' floor draw included, every machine charged over the
+	// same virtual window — by completed jobs: the quantity placement
+	// policies compete on.
+	FleetJoulesPerRequest float64 `json:"fleet_joules_per_request"`
+	FleetAvgPowerW        float64 `json:"fleet_avg_power_w"`
+	StealsPerRequest      float64 `json:"steals_per_request"`
+	Migrated              int64   `json:"migrated"`
+	// IdleMachines counts (machine, trial) pairs where the machine ran
+	// no task: Trials × Machines at zero load, 0 when every machine
+	// woke in every trial.
+	IdleMachines int64 `json:"idle_machines"`
+
+	PerMachine []MachinePoint `json:"per_machine"`
+	// Tiers is fleet-wide DVFS residency (share of busy core-time per
+	// frequency), fastest first.
+	Tiers []Tier `json:"tiers"`
+}
+
+// ClusterCurve is one (policy, machines) combination's curve over the
+// rate grid.
+type ClusterCurve struct {
+	Policy        string         `json:"policy"`
+	Machines      int            `json:"machines"`
+	UnloadedP50MS float64        `json:"unloaded_p50_ms"`
+	KneeRPS       float64        `json:"knee_rps"`
+	Points        []ClusterPoint `json:"points"`
+}
+
+// ClusterResult is the cluster sweep artifact: one curve per (policy,
+// machine count), policy-major. Deterministic for a fixed config.
+type ClusterResult struct {
+	Workload   synth.Spec     `json:"workload"`
+	Mode       string         `json:"mode"`
+	Policies   []string       `json:"policies"`
+	Machines   []int          `json:"machines"`
+	RatesRPS   []float64      `json:"rates_rps"`
+	WindowS    float64        `json:"window_s"`
+	Seed       int64          `json:"seed"`
+	Trials     int            `json:"trials"`
+	Workers    int            `json:"workers"`
+	KneeFactor float64        `json:"knee_factor"`
+	Curves     []ClusterCurve `json:"curves"`
+}
+
+// clusterTrialOut is one cluster trial's raw measurements.
+type clusterTrialOut struct {
+	arrivals int64
+	errors   int64
+	sojourns []units.Time
+	queues   []units.Time
+	spans    []Span
+	steals   int64
+	makespan units.Time
+	stats    hermes.ClusterStats
+	workers  int
+}
+
+// runClusterTrial replays one seeded trace through a fresh Cluster.
+func runClusterTrial(cfg ClusterConfig, policy hermes.Placement, machines int, rps float64, seed int64) (clusterTrialOut, error) {
+	var out clusterTrialOut
+	arrivals, err := Trace(cfg.Workload, rps, cfg.Window, seed)
+	if err != nil {
+		return out, err
+	}
+	copts := []hermes.Option{
+		hermes.WithMachines(machines),
+		hermes.WithPlacement(policy),
+		hermes.WithMode(cfg.Mode),
+		hermes.WithSeed(seed),
+	}
+	if cfg.Workers > 0 {
+		copts = append(copts, hermes.WithWorkers(cfg.Workers))
+	}
+	c, err := hermes.NewCluster(copts...)
+	if err != nil {
+		return out, err
+	}
+	out.workers = c.Config().Workers
+	jobs, err := c.SubmitTrace(nil, arrivals)
+	if err != nil {
+		c.Close()
+		return out, err
+	}
+	out.arrivals = int64(len(arrivals))
+	for i, j := range jobs {
+		rep, err := j.Wait()
+		// Failed jobs count toward depth and makespan but not latency
+		// or steals — same convention as the single-machine sweep.
+		done := arrivals[i].At + rep.Sojourn
+		out.spans = append(out.spans, Span{Arrive: arrivals[i].At, Done: done})
+		if done > out.makespan {
+			out.makespan = done
+		}
+		if err != nil {
+			out.errors++
+			if cfg.Log != nil {
+				cfg.Log(fmt.Sprintf("sweep: cluster job %d failed: %v", j.ID(), err))
+			}
+			continue
+		}
+		out.sojourns = append(out.sojourns, rep.Sojourn)
+		q := rep.Sojourn - rep.Span
+		if q < 0 {
+			q = 0
+		}
+		out.queues = append(out.queues, q)
+		out.steals += rep.Steals
+	}
+	if err := c.Close(); err != nil {
+		return out, err
+	}
+	out.stats = c.ClusterStats()
+	return out, nil
+}
+
+// runClusterPoint measures one (policy, machines, rate) grid point
+// over cfg.Trials seeded traces.
+func runClusterPoint(cfg ClusterConfig, policy hermes.Placement, machines int, rps float64) (ClusterPoint, error) {
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	pt := ClusterPoint{
+		OfferedRPS: rps,
+		PerMachine: make([]MachinePoint, machines),
+	}
+	for m := range pt.PerMachine {
+		pt.PerMachine[m].Machine = m
+	}
+	var (
+		sojourns, queues []units.Time
+		fleetJ           float64
+		fleetElapsed     units.Time
+		tierBusy         = map[units.Freq]units.Time{}
+		totalBusy        units.Time
+		steals           int64
+		makespan         units.Time
+	)
+	for trial := 0; trial < trials; trial++ {
+		out, err := runClusterTrial(cfg, policy, machines, rps, cfg.Seed+int64(trial))
+		if err != nil {
+			return ClusterPoint{}, err
+		}
+		pt.Arrivals += out.arrivals
+		pt.Errors += out.errors
+		pt.Completed += int64(len(out.sojourns))
+		if p := PeakInflight(out.spans); p > pt.PeakInflight {
+			pt.PeakInflight = p
+		}
+		sojourns = append(sojourns, out.sojourns...)
+		queues = append(queues, out.queues...)
+		makespan += out.makespan
+		steals += out.steals
+		st := out.stats
+		fleetJ += st.EnergyJ
+		fleetElapsed += st.Elapsed
+		for m, ms := range st.Machines {
+			mp := &pt.PerMachine[m]
+			mp.Placed += st.Placed[m]
+			mp.Migrated += st.Migrated[m]
+			mp.Tasks += ms.Tasks
+			mp.Steals += ms.Steals
+			mp.EnergyJ += ms.EnergyJ
+			pt.Migrated += st.Migrated[m]
+			if ms.Tasks == 0 {
+				mp.IdleTrials++
+				pt.IdleMachines++
+			}
+			totalBusy += ms.Busy
+			for f, d := range ms.FreqBusy {
+				tierBusy[f] += d
+			}
+			if w := out.workers; w > 0 && st.Elapsed > 0 {
+				mp.BusyFrac += float64(ms.Busy) / (float64(st.Elapsed) * float64(w))
+			}
+		}
+	}
+	// BusyFrac accumulated one share per trial; average them.
+	for m := range pt.PerMachine {
+		pt.PerMachine[m].BusyFrac /= float64(trials)
+	}
+	sortTimes(sojourns)
+	sortTimes(queues)
+	pt.MakespanS = makespan.Seconds()
+	if pt.MakespanS > 0 {
+		pt.ObservedRPS = float64(pt.Completed) / pt.MakespanS
+	}
+	pt.P50SojournMS = pctMS(sojourns, 0.50)
+	pt.P95SojournMS = pctMS(sojourns, 0.95)
+	pt.P99SojournMS = pctMS(sojourns, 0.99)
+	pt.MaxSojournMS = pctMS(sojourns, 1)
+	pt.P50QueueMS = pctMS(queues, 0.50)
+	pt.P95QueueMS = pctMS(queues, 0.95)
+	pt.P99QueueMS = pctMS(queues, 0.99)
+	if pt.Completed > 0 {
+		pt.FleetJoulesPerRequest = fleetJ / float64(pt.Completed)
+		pt.StealsPerRequest = float64(steals) / float64(pt.Completed)
+	}
+	if s := fleetElapsed.Seconds(); s > 0 {
+		pt.FleetAvgPowerW = fleetJ / s
+	}
+	freqs := make([]units.Freq, 0, len(tierBusy))
+	for f := range tierBusy {
+		freqs = append(freqs, f)
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+	for _, f := range freqs {
+		tier := Tier{FreqKHz: int64(f), BusyS: tierBusy[f].Seconds()}
+		if totalBusy > 0 {
+			tier.Frac = float64(tierBusy[f]) / float64(totalBusy)
+		}
+		pt.Tiers = append(pt.Tiers, tier)
+	}
+	return pt, nil
+}
+
+// RunCluster executes the whole (policy × machines × rate) grid and
+// assembles the artifact.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
+	spec, err := cfg.Workload.Validate()
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	cfg.Workload = spec
+	if len(cfg.Policies) == 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: no placement policies given")
+	}
+	if len(cfg.Machines) == 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: no machine counts given")
+	}
+	for _, n := range cfg.Machines {
+		if n < 1 {
+			return ClusterResult{}, fmt.Errorf("sweep: machine counts must be positive, got %d", n)
+		}
+	}
+	if len(cfg.RatesRPS) == 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: no arrival rates given")
+	}
+	rates := append([]float64(nil), cfg.RatesRPS...)
+	sort.Float64s(rates)
+	for _, r := range rates {
+		if r <= 0 {
+			return ClusterResult{}, fmt.Errorf("sweep: rates must be positive, got %g", r)
+		}
+	}
+	if cfg.Window <= 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: window must be positive, got %v", cfg.Window)
+	}
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	factor := cfg.KneeFactor
+	if factor == 0 {
+		factor = DefaultKneeFactor
+	}
+	if factor < 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: knee factor must be positive, got %g", factor)
+	}
+	res := ClusterResult{
+		Workload:   cfg.Workload,
+		Mode:       cfg.Mode.String(),
+		Machines:   append([]int(nil), cfg.Machines...),
+		RatesRPS:   rates,
+		WindowS:    cfg.Window.Seconds(),
+		Seed:       cfg.Seed,
+		Trials:     trials,
+		Workers:    cfg.Workers,
+		KneeFactor: factor,
+	}
+	for _, p := range cfg.Policies {
+		v, err := p.Validate()
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		res.Policies = append(res.Policies, v.String())
+		for _, machines := range cfg.Machines {
+			curve := ClusterCurve{Policy: v.String(), Machines: machines}
+			var p99s []float64
+			for _, rate := range rates {
+				pt, err := runClusterPoint(cfg, v, machines, rate)
+				if err != nil {
+					return ClusterResult{}, fmt.Errorf("sweep: %s ×%d @ %g rps: %w", v, machines, rate, err)
+				}
+				curve.Points = append(curve.Points, pt)
+				p99s = append(p99s, pt.P99SojournMS)
+				if cfg.Log != nil {
+					cfg.Log(fmt.Sprintf("cluster %s ×%d @ %g rps: p50=%.3fms p99=%.3fms fleetJ/req=%.4f idle=%d migr=%d",
+						v, machines, rate, pt.P50SojournMS, pt.P99SojournMS,
+						pt.FleetJoulesPerRequest, pt.IdleMachines, pt.Migrated))
+				}
+			}
+			curve.UnloadedP50MS = curve.Points[0].P50SojournMS
+			curve.KneeRPS = Knee(rates, p99s, curve.UnloadedP50MS, factor)
+			res.Curves = append(res.Curves, curve)
+		}
+	}
+	return res, nil
+}
+
+// CSV renders the cluster sweep flat, one row per (policy, machines,
+// rate) point, with per-machine consolidation packed as
+// machine:placed:migrated:energy tuples.
+func (r ClusterResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("policy,machines,offered_rps,arrivals,completed,errors,peak_inflight,observed_rps," +
+		"p50_sojourn_ms,p95_sojourn_ms,p99_sojourn_ms,max_sojourn_ms," +
+		"p50_queue_ms,p95_queue_ms,p99_queue_ms," +
+		"fleet_joules_per_request,fleet_avg_power_w,steals_per_request,migrated,idle_machines,knee_rps,per_machine\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			per := make([]string, len(p.PerMachine))
+			for i, m := range p.PerMachine {
+				per[i] = fmt.Sprintf("%d:%d:%d:%.6f", m.Machine, m.Placed, m.Migrated, m.EnergyJ)
+			}
+			fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%d,%d,%g,%s\n",
+				c.Policy, c.Machines, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
+				p.P50SojournMS, p.P95SojournMS, p.P99SojournMS, p.MaxSojournMS,
+				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
+				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines, c.KneeRPS,
+				strings.Join(per, ";"))
+		}
+	}
+	return b.String()
+}
+
+// String renders the cluster sweep as one compact table per curve.
+func (r ClusterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster sweep: %s, mode=%s, window=%.3gs, seed=%d, trials=%d, workers/machine=%d\n",
+		r.Workload, r.Mode, r.WindowS, r.Seed, r.Trials, r.Workers)
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "policy %s × %d machines (unloaded p50 %.3fms", c.Policy, c.Machines, c.UnloadedP50MS)
+		if c.KneeRPS > 0 {
+			fmt.Fprintf(&b, ", knee @ %g rps ×%g", c.KneeRPS, r.KneeFactor)
+		} else {
+			fmt.Fprintf(&b, ", no knee ≤ %g rps", r.RatesRPS[len(r.RatesRPS)-1])
+		}
+		b.WriteString(")\n")
+		b.WriteString("  rps      p50ms    p99ms    queue99  fleetJ/req avgW     idle  migr  peak\n")
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "  %-8g %-8.3f %-8.3f %-8.3f %-10.4f %-8.2f %-5d %-5d %d\n",
+				p.OfferedRPS, p.P50SojournMS, p.P99SojournMS, p.P99QueueMS,
+				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.IdleMachines, p.Migrated, p.PeakInflight)
+		}
+	}
+	return b.String()
+}

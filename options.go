@@ -12,6 +12,11 @@ type settings struct {
 	backend  Backend
 	asyncObs Observer
 	asyncBuf int
+
+	// Cluster-only options (NewCluster): machine count and placement
+	// policy. New rejects them — a single Runtime has no fleet.
+	machines  int
+	placement *Placement
 }
 
 // Option configures a Runtime under construction. Options that can
@@ -180,6 +185,38 @@ func WithAsyncObserver(o Observer, buffer int) Option {
 		}
 		s.asyncObs = o
 		s.asyncBuf = buffer
+		return nil
+	}
+}
+
+// WithMachines sets the fleet size for NewCluster: n independent
+// simulated machines — each with its own workers, deques, tempo
+// controller, DVFS state and power meter — multiplexed inside one
+// discrete-event engine. Machine m runs with the configured seed plus
+// m, so victim-selection streams differ across the fleet while staying
+// deterministic. Cluster-only: New returns an error if set.
+func WithMachines(n int) Option {
+	return func(s *settings) error {
+		if n < 1 {
+			return fmt.Errorf("hermes: machine count must be positive, got %d", n)
+		}
+		s.machines = n
+		return nil
+	}
+}
+
+// WithPlacement selects the cluster's placement policy — how arriving
+// jobs are routed across machines. Use the constructors
+// (PlacementRandom, PlacementJSQ, PlacementPowerOfChoices,
+// PlacementGossip) or ParsePlacement. Default: power-of-two-choices.
+// Cluster-only: New returns an error if set.
+func WithPlacement(p Placement) Option {
+	return func(s *settings) error {
+		v, err := p.Validate()
+		if err != nil {
+			return err
+		}
+		s.placement = &v
 		return nil
 	}
 }

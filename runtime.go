@@ -104,6 +104,11 @@ var ErrClosed = errors.New("hermes: runtime closed")
 // ErrNilTask is returned by Submit for a nil root task.
 var ErrNilTask = errors.New("hermes: nil root task")
 
+// ErrStatsUnavailable is the sentinel wrapped by MachineStats when the
+// backend keeps no virtual-time machine ledger (today: Native, whose
+// energy accounting lives in per-job Reports). Test with errors.Is.
+var ErrStatsUnavailable = errors.New("hermes: machine stats unavailable on this backend")
+
 // Executor is the backend contract behind a Runtime: both the
 // discrete-event simulator and the real-concurrency pool serve
 // submitted jobs through it.
@@ -143,6 +148,9 @@ func New(opts ...Option) (*Runtime, error) {
 		if err := o(&s); err != nil {
 			return nil, err
 		}
+	}
+	if s.machines != 0 || s.placement != nil {
+		return nil, errors.New("hermes: WithMachines and WithPlacement apply to NewCluster, not New")
 	}
 	var sink *obs.Async
 	if s.asyncObs != nil {
@@ -252,13 +260,14 @@ func (r *Runtime) SubmitTrace(ctx context.Context, arrivals []Arrival) ([]*Job, 
 // tier, steal and tempo counts — the quantities per-job Reports carry
 // only as deltas over their own (overlapping) sojourn windows.
 // Open-system sweeps read run-level energy, average power and
-// tier-residency curves from here. Sim backend only (Native returns an
-// error); it blocks until the engine has stopped, so call it after
-// Close.
+// tier-residency curves from here. Sim backend only — Native returns
+// an error wrapping ErrStatsUnavailable; it blocks until the engine
+// has stopped, so call it after Close.
 func (r *Runtime) MachineStats() (MachineStats, error) {
 	se, ok := r.exec.(*simExec)
 	if !ok {
-		return MachineStats{}, fmt.Errorf("hermes: MachineStats needs the Sim backend (runtime is %v)", r.backend)
+		return MachineStats{}, fmt.Errorf("%w: MachineStats needs the Sim backend (runtime is %v)",
+			ErrStatsUnavailable, r.backend)
 	}
 	return se.pool.MachineStats(), nil
 }

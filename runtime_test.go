@@ -2,6 +2,7 @@ package hermes_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -721,7 +722,13 @@ func TestMachineStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nrt.Close()
-	if _, err := nrt.MachineStats(); err == nil {
+	_, err = nrt.MachineStats()
+	if err == nil {
 		t.Fatal("MachineStats on Native accepted; want error")
+	}
+	// The refusal is the documented sentinel, so callers can branch on
+	// it with errors.Is instead of string-matching.
+	if !errors.Is(err, hermes.ErrStatsUnavailable) {
+		t.Fatalf("MachineStats on Native returned %v; want ErrStatsUnavailable", err)
 	}
 }
