@@ -51,7 +51,9 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/control"
 	"hermes/internal/metrics"
+	"hermes/internal/sweep"
 )
 
 func main() {
@@ -63,6 +65,10 @@ func main() {
 		buffer      = flag.Int("buffer", 1<<16, "async observer event buffer size")
 		maxInflight = flag.Int("max-inflight", 1024, "max concurrently in-flight jobs before 429")
 		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout (0 = none)")
+		ctlEnable   = flag.Bool("control", false, "enable the knee-aware admission controller (needs -sweep-model)")
+		sweepModel  = flag.String("sweep-model", "", "sweep JSON artifact to load as the capacity model")
+		ctlInterval = flag.Duration("control-interval", time.Second, "control loop tick period")
+		traceCap    = flag.Int("trace-cap", 4096, "arrival-trace ring size for /capacity replays")
 		selftest    = flag.Bool("selftest", false, "boot on a loopback port, exercise the HTTP API, exit nonzero on failure")
 	)
 	flag.Parse()
@@ -76,9 +82,27 @@ func main() {
 		return
 	}
 
-	srv, rt, err := buildServer(*backend, *mode, *workers, *buffer, *maxInflight, *jobTimeout)
+	srv, rt, err := buildServer(serveConfig{
+		backend:         *backend,
+		mode:            *mode,
+		workers:         *workers,
+		buffer:          *buffer,
+		maxInflight:     *maxInflight,
+		jobTimeout:      *jobTimeout,
+		control:         *ctlEnable,
+		sweepModel:      *sweepModel,
+		controlInterval: *ctlInterval,
+		traceCap:        *traceCap,
+	})
 	if err != nil {
 		log.Fatalf("hermes-serve: %v", err)
+	}
+	stop := make(chan struct{})
+	if srv.ctl != nil && srv.ctl.Enabled() {
+		go srv.ctl.Run(stop, *ctlInterval)
+		log.Printf("hermes-serve: control loop running every %v (model %s)", *ctlInterval, *sweepModel)
+	} else if srv.ctl != nil {
+		log.Printf("hermes-serve: controller disabled: %s", srv.ctl.Status().Reason)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
@@ -106,6 +130,7 @@ func main() {
 	// any telemetry loss.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	close(stop)
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("hermes-serve: http shutdown: %v", err)
 	}
@@ -118,15 +143,36 @@ func main() {
 	log.Printf("hermes-serve: bye")
 }
 
-// buildServer assembles the observability pipeline and runtime behind
-// a server: Observer events -> bounded async sink -> metrics registry
-// -> /metrics.
-func buildServer(backend, mode string, workers, buffer, maxInflight int, jobTimeout time.Duration) (*server, *hermes.Runtime, error) {
-	be, err := hermes.ParseBackend(backend)
+// serveConfig is everything buildServer needs to assemble a server.
+type serveConfig struct {
+	backend, mode string
+	workers       int
+	buffer        int
+	maxInflight   int
+	jobTimeout    time.Duration
+
+	// control enables the knee-aware admission controller; sweepModel
+	// is the sweep artifact it calibrates against. The controller is
+	// constructed either way (so /controlz always answers), but without
+	// both it reports itself disabled and admits everything.
+	control         bool
+	sweepModel      string
+	controlInterval time.Duration
+	// traceCap bounds the arrival-trace ring behind /capacity
+	// (<1 = default 4096).
+	traceCap int
+}
+
+// buildServer assembles the observability pipeline, runtime and
+// control plane behind a server: Observer events -> bounded async sink
+// -> metrics registry -> /metrics, with the controller reading the
+// registry back and deciding admission.
+func buildServer(cfg serveConfig) (*server, *hermes.Runtime, error) {
+	be, err := hermes.ParseBackend(cfg.backend)
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := hermes.ParseMode(mode)
+	m, err := hermes.ParseMode(cfg.mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -134,15 +180,41 @@ func buildServer(backend, mode string, workers, buffer, maxInflight int, jobTime
 	opts := []hermes.Option{
 		hermes.WithBackend(be),
 		hermes.WithMode(m),
-		hermes.WithAsyncObserver(reg, buffer),
+		hermes.WithAsyncObserver(reg, cfg.buffer),
 	}
-	if workers > 0 {
-		opts = append(opts, hermes.WithWorkers(workers))
+	if cfg.workers > 0 {
+		opts = append(opts, hermes.WithWorkers(cfg.workers))
 	}
 	rt, err := hermes.New(opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	reg.SetDropSource(rt.EventsDropped)
-	return newServer(rt, reg, maxInflight, jobTimeout), rt, nil
+	srv := newServer(rt, reg, cfg.maxInflight, cfg.jobTimeout)
+	srv.trace = newTraceRing(cfg.traceCap, srv.started)
+
+	// The controller always exists so /controlz and hermes_control_*
+	// answer; it only acts when -control and a loadable model agree.
+	ccfg := control.Config{Mode: m, Source: reg, Log: log.Printf}
+	switch {
+	case !cfg.control:
+		ccfg.DisabledReason = "control loop not enabled (start with -control -sweep-model=...)"
+	case cfg.sweepModel == "":
+		ccfg.DisabledReason = "-control needs -sweep-model pointing at a sweep JSON artifact"
+	default:
+		model, err := sweep.LoadModel(cfg.sweepModel)
+		if err != nil {
+			ccfg.DisabledReason = fmt.Sprintf("capacity model unusable: %v", err)
+		} else {
+			ccfg.Model = model
+			if be == hermes.Native {
+				// Live tempo-mode switching is a Native capability; on
+				// Sim the controller keeps admission control only.
+				ccfg.Switcher = rt
+			}
+		}
+	}
+	srv.ctl = control.New(ccfg)
+	reg.AddCollector(srv.ctl.WritePrometheus)
+	return srv, rt, nil
 }

@@ -7,16 +7,25 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
+	"hermes"
 	"hermes/internal/metrics"
+	"hermes/internal/sweep"
+	"hermes/internal/synth"
 )
 
 // selftestSeries are the /metrics series the CI smoke requires to be
 // present after jobs have run — the steal/tempo/DVFS/energy/latency
 // observability surface the serving layer promises.
 var selftestSeries = []string{
+	"hermes_control_enabled",
+	"hermes_control_state",
+	"hermes_control_offered_rps",
+	"hermes_control_shed_total",
+	"hermes_control_mode_switches_total",
 	"hermes_steals_total",
 	"hermes_tempo_switches_total",
 	"hermes_dvfs_commits_total",
@@ -33,16 +42,75 @@ var selftestSeries = []string{
 	`hermes_job_latency_seconds_count{workload="fib"}`,
 }
 
+// selftestModel writes a synthetic sweep artifact to a temp file: one
+// curve per tempo mode, knees resolved far above any load the selftest
+// offers (so the controller enables without ever shedding), with the
+// boot mode cheapest so the mode actuator stays put.
+func selftestModel(bootMode string) (string, error) {
+	rates := []float64{100, 1_000, 10_000}
+	knee := 10_000.0
+	res := sweep.Result{
+		Workload:   synth.Spec{Kind: "ticks", N: 128},
+		RatesRPS:   rates,
+		KneeFactor: 5,
+	}
+	for _, m := range []string{"baseline", "workpath", "workload", "hermes"} {
+		j := 0.5
+		if m == bootMode {
+			j = 0.1
+		}
+		c := sweep.Curve{Mode: m, UnloadedP50MS: 1_000, KneeRPS: &knee}
+		for range rates {
+			c.Points = append(c.Points, sweep.Point{JoulesPerRequest: j})
+		}
+		res.Curves = append(res.Curves, c)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp("", "hermes-selftest-sweep-*.json")
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return "", err
+	}
+	return f.Name(), f.Close()
+}
+
 // runSelftest boots the full server on a loopback port and exercises
 // it the way a client would: health check, one job of each workload
-// kind submitted over HTTP, polled to completion, then a /metrics
-// scrape validated series-by-series.
+// kind submitted over HTTP, polled to completion, the /capacity
+// digital twin replayed twice (byte-identical), /controlz read, then a
+// /metrics scrape validated series-by-series.
 func runSelftest(mode string, workers int) error {
-	srv, rt, err := buildServer("native", mode, workers, 1<<16, 64, time.Minute)
+	m, err := hermes.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	modelPath, err := selftestModel(m.String())
+	if err != nil {
+		return err
+	}
+	defer os.Remove(modelPath)
+	srv, rt, err := buildServer(serveConfig{
+		backend: "native", mode: mode, workers: workers,
+		buffer: 1 << 16, maxInflight: 64, jobTimeout: time.Minute,
+		control: true, sweepModel: modelPath, controlInterval: 100 * time.Millisecond,
+		traceCap: 1024,
+	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	if !srv.ctl.Enabled() {
+		return fmt.Errorf("controller did not enable: %s", srv.ctl.Status().Reason)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go srv.ctl.Run(stop, 100*time.Millisecond)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -56,6 +124,17 @@ func runSelftest(mode string, workers int) error {
 
 	if err := expectOK(base + "/healthz"); err != nil {
 		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// Before any job: the digital twin has nothing to replay.
+	if resp, err := http.Get(base + "/capacity"); err != nil {
+		return err
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("empty-trace /capacity: got HTTP %d, want 409", resp.StatusCode)
+		}
 	}
 
 	specs := []string{
@@ -89,6 +168,53 @@ func runSelftest(mode string, workers int) error {
 	if resp.StatusCode != http.StatusBadRequest {
 		return fmt.Errorf("bad workload: got HTTP %d, want 400", resp.StatusCode)
 	}
+
+	// The digital twin: replay the captured trace at 2× rate, twice —
+	// the Sim replay is deterministic, so the responses must be
+	// byte-identical.
+	cap1, err := get(base + "/capacity?scale=2")
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	cap2, err := get(base + "/capacity?scale=2")
+	if err != nil {
+		return fmt.Errorf("capacity (second): %w", err)
+	}
+	if cap1 != cap2 {
+		return fmt.Errorf("capacity replay not deterministic:\n%s\n---\n%s", cap1, cap2)
+	}
+	var capOut struct {
+		TraceLen   int `json:"trace_len"`
+		Prediction struct {
+			Completed int64 `json:"completed"`
+		} `json:"prediction"`
+	}
+	if err := json.Unmarshal([]byte(cap1), &capOut); err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	if capOut.TraceLen != len(ids) || capOut.Prediction.Completed != int64(len(ids)) {
+		return fmt.Errorf("capacity replayed %d arrivals / completed %d, want %d",
+			capOut.TraceLen, capOut.Prediction.Completed, len(ids))
+	}
+	fmt.Printf("selftest: /capacity deterministic (%d arrivals replayed at 2x)\n", capOut.TraceLen)
+
+	// Control plane status.
+	ctlBody, err := get(base + "/controlz")
+	if err != nil {
+		return fmt.Errorf("controlz: %w", err)
+	}
+	var ctlOut struct {
+		Enabled bool   `json:"enabled"`
+		State   string `json:"state"`
+		Shed    int64  `json:"shed_total"`
+	}
+	if err := json.Unmarshal([]byte(ctlBody), &ctlOut); err != nil {
+		return fmt.Errorf("controlz: %w", err)
+	}
+	if !ctlOut.Enabled || ctlOut.State != "normal" || ctlOut.Shed != 0 {
+		return fmt.Errorf("controlz unexpected: %s", ctlBody)
+	}
+	fmt.Printf("selftest: /controlz OK (state=%s)\n", ctlOut.State)
 
 	text, err := get(base + "/metrics")
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/control"
 	"hermes/internal/metrics"
 	"hermes/internal/synth"
 )
@@ -25,6 +26,12 @@ import (
 type server struct {
 	rt  *hermes.Runtime
 	reg *metrics.Registry
+
+	// ctl is the knee-aware admission controller (nil = none, every
+	// request admitted); trace captures accepted arrivals for the
+	// /capacity replay (nil = capture off).
+	ctl   *control.Controller
+	trace *traceRing
 
 	// inflight is the admission-control semaphore: a slot is held from
 	// accepted POST to job completion, and a full semaphore turns new
@@ -115,6 +122,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /capacity", s.handleCapacity)
+	mux.HandleFunc("GET /controlz", s.handleControlz)
 	return mux
 }
 
@@ -146,7 +155,14 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission control: take an in-flight slot or refuse immediately.
+	// Admission control, two layers: the knee-aware controller sheds
+	// when live signals say the machine is past its calibrated
+	// capacity; the in-flight semaphore is the hard backstop either
+	// way.
+	if s.ctl != nil && !s.ctl.Admit() {
+		shedError(w)
+		return
+	}
 	select {
 	case s.inflight <- struct{}{}:
 	default:
@@ -182,8 +198,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	// Label the submission series and this job's latency observation
-	// by workload kind.
+	// by workload kind, and capture the arrival for /capacity replays.
 	s.reg.JobSubmitted(j.ID(), spec.Kind)
+	if s.trace != nil {
+		s.trace.record(spec)
+	}
 	go func() {
 		defer cancel()
 		<-j.Done()

@@ -19,7 +19,7 @@ import (
 // metrics + HTTP mux) behind an httptest server.
 func newTestServer(t *testing.T, maxInflight, buffer int) (*httptest.Server, *server) {
 	t.Helper()
-	srv, rt, err := buildServer("native", "unified", 4, buffer, maxInflight, time.Minute)
+	srv, rt, err := buildServer(serveConfig{backend: "native", mode: "unified", workers: 4, buffer: buffer, maxInflight: maxInflight, jobTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func waitDoneOrPruned(t *testing.T, base string, id int64, timeout time.Duration
 // deterministic simulator too — concurrent HTTP jobs multiplex inside
 // the discrete-event machine instead of serializing.
 func TestServeOnSimBackend(t *testing.T) {
-	srv, rt, err := buildServer("sim", "unified", 4, 1<<16, 64, time.Minute)
+	srv, rt, err := buildServer(serveConfig{backend: "sim", mode: "unified", workers: 4, buffer: 1 << 16, maxInflight: 64, jobTimeout: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,34 @@
+// Package control is the serving feedback path: a controller that
+// compares live metrics against a sweep-calibrated capacity model and
+// actuates — shedding load before the pool knees, and switching the
+// runtime's tempo mode to the energy-optimal choice for the observed
+// arrival rate.
+//
+// The offline side of the loop is the open-system sweep
+// (internal/sweep): for each tempo mode it measures the latency/energy
+// curve over an arrival-rate grid and marks the knee — the rate where
+// p99 sojourn exceeds KneeFactor × the unloaded p50. Loaded back in as
+// a sweep.Model, that artifact tells the controller two things per
+// mode: the arrival rate the machine cannot sustain (the knee rate)
+// and the p99 bound whose crossing defines it (the knee latency).
+// The controller watches the live analogues of both — offered request
+// rate from its own admission counter, windowed p99 from the metrics
+// registry's latency histogram — and trips when either crosses its
+// calibrated bound.
+//
+// Tripping is hysteretic so transient spikes cannot flap the admission
+// decision: EnterTicks consecutive over-knee observations enter
+// Shedding, ExitTicks consecutive observations below RecoverFrac of
+// both bounds leave it, and a Recovered cooldown state absorbs
+// after-shocks before declaring Normal. The state machine is
+//
+//	Normal ──(EnterTicks over knee)──▶ Shedding
+//	Shedding ──(ExitTicks calm)──▶ Recovered
+//	Recovered ──(CooldownTicks calm)──▶ Normal
+//	Recovered ──(EnterTicks over knee)──▶ Shedding
+//
+// A controller with no usable model (missing file, stale artifact, no
+// curve for the boot mode, unresolved knee) constructs Disabled: it
+// admits everything, reports why, and never consults the model — the
+// server boots and serves regardless.
+package control

@@ -1,9 +1,3 @@
-// Package core implements the HERMES scheduler of Ribic & Liu
-// (ASPLOS 2014): a Cilk-style work-stealing runtime whose workers
-// execute at different tempos (DVFS frequencies) chosen by the
-// workpath-sensitive and workload-sensitive algorithms of the paper's
-// Figure 5, executed over the deterministic discrete-event machine
-// model in internal/cpu, internal/power and internal/meter.
 package core
 
 import (

@@ -1,15 +1,3 @@
-// Package deque implements the work-stealing deque of Cilk-style
-// runtimes, following Figure 2 of Ribic & Liu (ASPLOS 2014): an
-// array-backed queue manipulated at the tail by its owning worker
-// (PUSH, POP) and at the head by thieves (STEAL), with the THE-style
-// optimistic locking protocol — the owner's POP takes the lock only
-// when it may race a thief for the last item, while STEAL always
-// locks.
-//
-// The paper's pseudocode indexes the last item with T; this
-// implementation uses the equivalent past-the-end convention of the
-// original Cilk-5 THE protocol (size = T-H, empty iff H >= T). The
-// protocol and its conflict-resolution behaviour are identical.
 package deque
 
 import (

@@ -95,9 +95,9 @@ func (s *Session) openSystem(fig int, spec synth.Spec) Table {
 				fmt.Sprintf("%.2f", p.StealsPerRequest), fmt.Sprint(p.PeakInflight),
 			})
 		}
-		if c.KneeRPS > 0 {
+		if k, ok := c.Knee(); ok {
 			t.Notes = append(t.Notes, fmt.Sprintf("%s: latency knee at %g rps (p99 > %g× unloaded p50 %.3fms)",
-				c.Mode, c.KneeRPS, res.KneeFactor, c.UnloadedP50MS))
+				c.Mode, k, res.KneeFactor, c.UnloadedP50MS))
 		} else {
 			t.Notes = append(t.Notes, fmt.Sprintf("%s: no latency knee within the grid (unloaded p50 %.3fms)",
 				c.Mode, c.UnloadedP50MS))

@@ -1,0 +1,17 @@
+// Package metrics folds the runtime's Observer event stream into
+// Prometheus-text-format series — counters for scheduler activity
+// (steals, tempo switches, DVFS commits, job lifecycle), gauges for
+// instantaneous power and cumulative energy, and a histogram for job
+// latency — with no external dependencies. A Registry is an
+// obs.Observer, so it can sit directly behind an obs.Async sink and
+// be scraped over HTTP via Handler.
+//
+// Beyond the scrape surface, a Registry is also a programmatic metrics
+// source: Snapshot returns a consistent counter/gauge view, and
+// LatencyHist exposes the cumulative latency histogram as a Hist value
+// whose Sub and Quantile methods let a caller compute windowed
+// percentiles — the signal the serving control loop
+// (internal/control) reads every tick. AddCollector appends external
+// series (e.g. hermes_control_*) to each scrape without coupling this
+// package to their owners.
+package metrics

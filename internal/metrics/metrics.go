@@ -1,10 +1,3 @@
-// Package metrics folds the runtime's Observer event stream into
-// Prometheus-text-format series — counters for scheduler activity
-// (steals, tempo switches, DVFS commits, job lifecycle), gauges for
-// instantaneous power and cumulative energy, and a histogram for job
-// latency — with no external dependencies. A Registry is an
-// obs.Observer, so it can sit directly behind an obs.Async sink and
-// be scraped over HTTP via Handler.
 package metrics
 
 import (
@@ -39,11 +32,13 @@ var LatencyBuckets = []float64{
 }
 
 // Snapshot is a consistent copy of every scalar series, for
-// programmatic readers (load generators, tests).
+// programmatic readers (load generators, tests, the serving
+// controller).
 type Snapshot struct {
 	Steals        int64
 	TempoSwitches int64
 	DVFSCommits   int64
+	JobsSubmitted int64 // accepted submissions, summed across kinds
 	JobsStarted   int64
 	JobsCompleted int64
 	JobsInflight  int64
@@ -88,8 +83,10 @@ type Registry struct {
 	unknownDone map[int64]float64
 	latSum      float64 // totals across kinds
 	latCount    int64
+	latBuckets  []int64 // per-bucket totals across kinds, non-cumulative
 
 	dropSource func() uint64 // optional: async sink's drop counter
+	collectors []func(io.Writer) error
 }
 
 // New returns an empty registry.
@@ -99,6 +96,7 @@ func New() *Registry {
 		jobKind:     make(map[int64]string),
 		byKind:      make(map[string]*kindSeries),
 		unknownDone: make(map[int64]float64),
+		latBuckets:  make([]int64, len(LatencyBuckets)+1),
 	}
 }
 
@@ -239,6 +237,7 @@ func (r *Registry) Observe(e obs.Event) {
 func (r *Registry) observeLatencyLocked(kind string, sec float64) {
 	r.latSum += sec
 	r.latCount++
+	r.latBuckets[bucketFor(sec)]++
 	ks := r.kind(kind)
 	ks.latSum += sec
 	ks.latCount++
@@ -249,10 +248,15 @@ func (r *Registry) observeLatencyLocked(kind string, sec float64) {
 // DroppedEvents is left for the caller to fill outside the lock (the
 // drop source is an external callback that must not run under r.mu).
 func (r *Registry) snapshotLocked() Snapshot {
+	var submitted int64
+	for _, ks := range r.byKind {
+		submitted += ks.submitted
+	}
 	return Snapshot{
 		Steals:        r.steals,
 		TempoSwitches: r.tempoSwitches,
 		DVFSCommits:   r.dvfsCommits,
+		JobsSubmitted: submitted,
 		JobsStarted:   r.jobsStarted,
 		JobsCompleted: r.jobsDone,
 		JobsInflight:  r.jobsStarted - r.jobsDone,
@@ -274,6 +278,99 @@ func (r *Registry) Snapshot() Snapshot {
 		s.DroppedEvents = dropSource()
 	}
 	return s
+}
+
+// Hist is a point-in-time copy of the all-kinds job-latency histogram.
+// Buckets are non-cumulative counts per LatencyBuckets bound, with one
+// extra trailing +Inf bucket. Two Hists taken at different times can be
+// differenced with Sub to get a windowed histogram, which Quantile then
+// summarizes — the controller's view of "p99 over the last tick".
+type Hist struct {
+	Buckets []int64
+	Sum     float64 // seconds
+	Count   int64
+}
+
+// Sub returns the windowed histogram h − prev (observations recorded
+// after prev was taken). Counts never decrease, so the result is
+// well-formed whenever prev was taken from the same registry earlier.
+func (h Hist) Sub(prev Hist) Hist {
+	out := Hist{
+		Buckets: make([]int64, len(h.Buckets)),
+		Sum:     h.Sum - prev.Sum,
+		Count:   h.Count - prev.Count,
+	}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i]
+		if i < len(prev.Buckets) {
+			out.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-th latency quantile (seconds) by linear
+// interpolation within the bucket the rank falls in, the same estimate
+// Prometheus's histogram_quantile computes. Returns 0 for an empty
+// histogram; observations in the +Inf bucket report the last finite
+// bound.
+func (h Hist) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, n := range h.Buckets {
+		if n <= 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(LatencyBuckets) {
+			// +Inf bucket: the best finite statement is the last bound.
+			return LatencyBuckets[len(LatencyBuckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = LatencyBuckets[i-1]
+		}
+		hi := LatencyBuckets[i]
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + frac*(hi-lo)
+	}
+	return LatencyBuckets[len(LatencyBuckets)-1]
+}
+
+// LatencyHist returns a copy of the cumulative-since-boot job-latency
+// histogram folded across workload kinds.
+func (r *Registry) LatencyHist() Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Hist{
+		Buckets: append([]int64(nil), r.latBuckets...),
+		Sum:     r.latSum,
+		Count:   r.latCount,
+	}
+}
+
+// AddCollector appends an auxiliary series producer to scrapes: fn is
+// invoked at the end of every WritePrometheus, after the registry's own
+// series and outside its lock, so collectors may take their own locks
+// freely. The serving controller uses this to publish hermes_control_*
+// without the registry knowing about it.
+func (r *Registry) AddCollector(fn func(io.Writer) error) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
 }
 
 // WritePrometheus renders every series in the Prometheus text
@@ -305,6 +402,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	dropSource := r.dropSource
+	collectors := r.collectors
 	r.mu.Unlock()
 	if dropSource != nil {
 		snap.DroppedEvents = dropSource()
@@ -353,7 +451,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		p("hermes_job_latency_seconds_sum{workload=%q} %v\n", k, ks.latSum)
 		p("hermes_job_latency_seconds_count{workload=%q} %d\n", k, ks.latCount)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	for _, fn := range collectors {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do:

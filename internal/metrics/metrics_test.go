@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -230,5 +231,79 @@ func TestJobStartTableBounded(t *testing.T) {
 	r.mu.Unlock()
 	if n > 2*maxTrackedJobs+1 {
 		t.Fatalf("jobStart table grew to %d entries (window %d); orphaned starts leak", n, maxTrackedJobs)
+	}
+}
+
+// TestLatencyHistAndQuantile exercises the controller-facing histogram
+// accessors: the all-kinds Hist, windowed differencing, and quantile
+// interpolation.
+func TestLatencyHistAndQuantile(t *testing.T) {
+	r := New()
+	for i := int64(1); i <= 100; i++ {
+		// 100 jobs at 2 ms sojourn: p99 interpolates inside (1ms, 2.5ms].
+		feed(r,
+			obs.Event{Kind: obs.JobStart, Job: i, Time: 0},
+			obs.Event{Kind: obs.JobDone, Job: i, Time: 2 * units.Millisecond, Sojourn: 2 * units.Millisecond},
+		)
+	}
+	h := r.LatencyHist()
+	if h.Count != 100 {
+		t.Fatalf("hist count = %d, want 100", h.Count)
+	}
+	if got := h.Buckets[bucketFor(0.002)]; got != 100 {
+		t.Fatalf("2ms bucket = %d, want 100", got)
+	}
+	q := h.Quantile(0.99)
+	if q <= 0.001 || q > 0.0025 {
+		t.Fatalf("p99 = %g, want within (1ms, 2.5ms]", q)
+	}
+
+	// Window: 50 more jobs at 40 ms; the diff must only see those.
+	before := h
+	for i := int64(101); i <= 150; i++ {
+		feed(r,
+			obs.Event{Kind: obs.JobStart, Job: i, Time: 0},
+			obs.Event{Kind: obs.JobDone, Job: i, Time: 40 * units.Millisecond, Sojourn: 40 * units.Millisecond},
+		)
+	}
+	win := r.LatencyHist().Sub(before)
+	if win.Count != 50 {
+		t.Fatalf("windowed count = %d, want 50", win.Count)
+	}
+	if q := win.Quantile(0.5); q <= 0.025 || q > 0.05 {
+		t.Fatalf("windowed p50 = %g, want within (25ms, 50ms]", q)
+	}
+
+	var empty Hist
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty-hist quantile = %g, want 0", got)
+	}
+}
+
+// TestSnapshotJobsSubmitted pins the submitted-total accessor.
+func TestSnapshotJobsSubmitted(t *testing.T) {
+	r := New()
+	r.JobSubmitted(1, "fib")
+	r.JobSubmitted(2, "fib")
+	r.JobSubmitted(3, "matmul")
+	if got := r.Snapshot().JobsSubmitted; got != 3 {
+		t.Fatalf("JobsSubmitted = %d, want 3", got)
+	}
+}
+
+// TestAddCollector verifies auxiliary series land at the end of a
+// scrape.
+func TestAddCollector(t *testing.T) {
+	r := New()
+	r.AddCollector(func(w io.Writer) error {
+		_, err := io.WriteString(w, "hermes_control_state 1\n")
+		return err
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(b.String(), "hermes_control_state 1\n") {
+		t.Fatal("collector output missing from scrape tail")
 	}
 }

@@ -1,13 +1,3 @@
-// Package obs defines the observer hook through which the runtime
-// streams scheduler events — steals, tempo switches, DVFS commits,
-// energy samples, job lifecycle — to external telemetry without the
-// observer being able to perturb scheduling decisions.
-//
-// Both executors emit through the same Event type. Under the
-// discrete-event simulator events arrive on the single engine
-// goroutine in deterministic order; under the real-concurrency
-// executor they arrive from many worker goroutines at once, so
-// Observer implementations must be safe for concurrent use.
 package obs
 
 import "hermes/internal/units"

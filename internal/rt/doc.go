@@ -1,0 +1,48 @@
+// Package rt is the real-concurrency executor: the same HERMES
+// scheduling algorithms as internal/core — work-stealing deques, thief
+// procrastination, immediacy relays, workload thresholds — run by
+// actual goroutine workers in parallel on the host.
+//
+// Unlike the one-shot simulator, rt is a persistent service: NewExec
+// starts a worker pool that outlives any single computation, Submit
+// enqueues concurrent root jobs multiplexed over the shared pool, and
+// Close drains it. Every job gets its own report; tempo state (the
+// immediacy list, workload tiers, profiled thresholds) persists across
+// jobs, so the deque-size thresholds react to aggregate traffic rather
+// than a single fork-join tree. The executor shares internal/core's
+// Config and Report types: all four tempo modes run here, and reports
+// carry the same residency and scheduler statistics, measured over
+// wall-clock time.
+//
+// The task-boundary hot path is lock-free and allocation-free in
+// steady state. The deque defaults to the Chase–Lev implementation
+// (CAS only on steals and the owner's last-item race; core.DequeTHE
+// selects the paper-fidelity THE protocol instead); tasks and
+// fork-join blocks come from per-worker free lists; and accounting
+// never takes a global lock — each worker publishes its (state, freq,
+// since) in a packed atomic word and accumulates an exact per-worker
+// residency matrix (see acct.go), from which readers fold machine
+// energy on demand: at job boundaries, at the paper's 100 Hz DAQ
+// cadence in meterLoop, and on Close. Workload-tempo threshold checks
+// pre-filter through lock-free published bounds, so PUSH and POP take
+// tempoMu only when a tier crossing is actually possible.
+//
+// Since the host exposes neither per-domain DVFS nor an energy meter,
+// tempo control here is emulated and accounted rather than physically
+// applied: a worker at tempo frequency f executes declared Work cycles
+// at rate f in wall-clock time (slow tempos genuinely take longer),
+// and energy integrates the same calibrated power model over
+// wall-clock residency. Real computation inside tasks runs at native
+// speed regardless. The executor therefore demonstrates and tests the
+// algorithms under true parallelism (including the race behaviour of
+// the deques), while the discrete-event executor in internal/core
+// remains the measurement instrument.
+//
+// Unlike the simulator, runs are not deterministic: the OS scheduler
+// decides races, exactly as on the paper's machines. The sim-only
+// Config knobs are ignored here: the overheads (StealCost,
+// PushPopCost, yield spins, AffinityCost) because real locks and
+// syscalls cost what they cost, the Cancelled hook because rt cancels
+// per job through the Submit context, and Scheduling because workers
+// are always statically pinned (reports are normalized to Static).
+package rt

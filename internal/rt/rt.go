@@ -1,50 +1,3 @@
-// Package rt is the real-concurrency executor: the same HERMES
-// scheduling algorithms as internal/core — work-stealing deques, thief
-// procrastination, immediacy relays, workload thresholds — run by
-// actual goroutine workers in parallel on the host.
-//
-// Unlike the one-shot simulator, rt is a persistent service: NewExec
-// starts a worker pool that outlives any single computation, Submit
-// enqueues concurrent root jobs multiplexed over the shared pool, and
-// Close drains it. Every job gets its own report; tempo state (the
-// immediacy list, workload tiers, profiled thresholds) persists across
-// jobs, so the deque-size thresholds react to aggregate traffic rather
-// than a single fork-join tree. The executor shares internal/core's
-// Config and Report types: all four tempo modes run here, and reports
-// carry the same residency and scheduler statistics, measured over
-// wall-clock time.
-//
-// The task-boundary hot path is lock-free and allocation-free in
-// steady state. The deque defaults to the Chase–Lev implementation
-// (CAS only on steals and the owner's last-item race; core.DequeTHE
-// selects the paper-fidelity THE protocol instead); tasks and
-// fork-join blocks come from per-worker free lists; and accounting
-// never takes a global lock — each worker publishes its (state, freq,
-// since) in a packed atomic word and accumulates an exact per-worker
-// residency matrix (see acct.go), from which readers fold machine
-// energy on demand: at job boundaries, at the paper's 100 Hz DAQ
-// cadence in meterLoop, and on Close. Workload-tempo threshold checks
-// pre-filter through lock-free published bounds, so PUSH and POP take
-// tempoMu only when a tier crossing is actually possible.
-//
-// Since the host exposes neither per-domain DVFS nor an energy meter,
-// tempo control here is emulated and accounted rather than physically
-// applied: a worker at tempo frequency f executes declared Work cycles
-// at rate f in wall-clock time (slow tempos genuinely take longer),
-// and energy integrates the same calibrated power model over
-// wall-clock residency. Real computation inside tasks runs at native
-// speed regardless. The executor therefore demonstrates and tests the
-// algorithms under true parallelism (including the race behaviour of
-// the deques), while the discrete-event executor in internal/core
-// remains the measurement instrument.
-//
-// Unlike the simulator, runs are not deterministic: the OS scheduler
-// decides races, exactly as on the paper's machines. The sim-only
-// Config knobs are ignored here: the overheads (StealCost,
-// PushPopCost, yield spins, AffinityCost) because real locks and
-// syscalls cost what they cost, the Cancelled hook because rt cancels
-// per job through the Submit context, and Scheduling because workers
-// are always statically pinned (reports are normalized to Static).
 package rt
 
 import (
@@ -267,6 +220,14 @@ type Exec struct {
 	cfg   core.Config
 	model *power.Model
 
+	// mode is the live tempo mode, read by the scheduling hot paths via
+	// modeNow and replaced by SetMode: cfg.Mode is only the boot value.
+	// Hot paths may pre-filter on a mode that SetMode concurrently
+	// replaces; the locked tempo sections tolerate that (a stale
+	// decision at worst retunes a worker once more), and SetMode's
+	// reset under tempoMu restores the target mode's invariants.
+	mode atomic.Int32
+
 	workers []*worker
 	injectq chan *task
 	closeCh chan struct{}
@@ -354,6 +315,7 @@ func NewExec(cfg core.Config) (*Exec, error) {
 		start:   time.Now(),
 		prof:    tempo.NewProfiler(cfg.ProfileWindow),
 	}
+	e.mode.Store(int32(cfg.Mode))
 	for st := cpu.IdleHalt; st <= cpu.Busy; st++ {
 		for fi, f := range cfg.Freqs {
 			e.watts[st-1][fi] = e.model.CoreWatts(st, f)
@@ -385,10 +347,11 @@ func NewExec(cfg core.Config) (*Exec, error) {
 		e.workerWG.Add(1)
 		go w.loop()
 	}
-	if cfg.Mode.Workload() {
-		e.workerWG.Add(1)
-		go e.profLoop()
-	}
+	// The profiler always runs (cheap per tick) so a later SetMode into
+	// a workload-sensitive mode finds live deque-size averages instead
+	// of a cold window.
+	e.workerWG.Add(1)
+	go e.profLoop()
 	if cfg.Observer != nil {
 		e.workerWG.Add(1)
 		go e.meterLoop()
@@ -396,9 +359,50 @@ func NewExec(cfg core.Config) (*Exec, error) {
 	return e, nil
 }
 
+// modeNow returns the live tempo mode (boot value until SetMode
+// replaces it).
+func (e *Exec) modeNow() core.Mode { return core.Mode(e.mode.Load()) }
+
 // Config returns the validated configuration the pool runs with
-// (defaults filled in).
-func (e *Exec) Config() core.Config { return e.cfg }
+// (defaults filled in), with Mode reflecting any live SetMode switch.
+func (e *Exec) Config() core.Config {
+	cfg := e.cfg
+	cfg.Mode = e.modeNow()
+	return cfg
+}
+
+// SetMode switches the pool's tempo mode while it serves traffic. The
+// switch resets all tempo state to the target mode's boot invariants —
+// immediacy list emptied, workpath levels zeroed, workload tiers back
+// to the top — so every worker restarts at full tempo and the new
+// mode's control law takes over from a clean slate (jobs in flight
+// keep running throughout; only the DVFS control law changes).
+// Switching into a tempo-controlled mode requires the ≥2-frequency
+// ladder such a mode would need at construction.
+func (e *Exec) SetMode(m core.Mode) error {
+	if m > core.Unified {
+		return fmt.Errorf("rt: unknown mode %d", m)
+	}
+	if m != core.Baseline && len(e.cfg.Freqs) < 2 {
+		return fmt.Errorf("rt: mode %v needs at least 2 tempo frequencies, pool has %d", m, len(e.cfg.Freqs))
+	}
+	var evs []obs.Event
+	e.tempoMu.Lock()
+	if core.Mode(e.mode.Load()) == m {
+		e.tempoMu.Unlock()
+		return nil
+	}
+	e.mode.Store(int32(m))
+	for _, w := range e.workers {
+		w.node.Unlink()
+		w.wpLevel = 0
+		w.th.SetTier(w.th.K())
+		w.retuneLocked(&evs)
+	}
+	e.tempoMu.Unlock()
+	e.emitAll(evs)
+	return nil
+}
 
 // Submit enqueues root as a new job multiplexed over the shared pool
 // and returns its handle as soon as the job is queued; if the intake
@@ -663,7 +667,7 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 	r := core.Report{
 		System:        e.cfg.Spec.Name,
 		Workers:       e.cfg.Workers,
-		Mode:          e.cfg.Mode,
+		Mode:          e.modeNow(),
 		Sched:         e.cfg.Scheduling,
 		Span:          span,
 		Sojourn:       sojourn,
@@ -755,9 +759,11 @@ func (e *Exec) profLoop() {
 		}
 		e.tempoMu.Lock()
 		e.prof.Observe(sizes)
-		avg := e.prof.Average()
-		for _, w := range e.workers {
-			w.th.Retune(avg)
+		if e.modeNow().Workload() {
+			avg := e.prof.Average()
+			for _, w := range e.workers {
+				w.th.Retune(avg)
+			}
 		}
 		e.tempoMu.Unlock()
 	}
@@ -916,7 +922,7 @@ func (w *worker) push(t *task) {
 		t.job.perW[w.id].spawns++
 	}
 	w.dq.Push(t)
-	if !w.e.cfg.Mode.Workload() {
+	if !w.e.modeNow().Workload() {
 		return
 	}
 	if !w.th.WouldRaiseFast(w.dq.Size()) {
@@ -943,7 +949,7 @@ func (w *worker) push(t *task) {
 // worker holds the most immediate work (head of the immediacy list).
 // Like push, it pre-checks the published bound before locking.
 func (w *worker) afterShrink() {
-	if !w.e.cfg.Mode.Workload() {
+	if !w.e.modeNow().Workload() {
 		return
 	}
 	if !w.th.WouldLowerFast(w.dq.Size()) {
@@ -951,7 +957,7 @@ func (w *worker) afterShrink() {
 	}
 	var evs []obs.Event
 	w.e.tempoMu.Lock()
-	atHead := w.e.cfg.Mode.Workpath() && w.node.AtHead()
+	atHead := w.e.modeNow().Workpath() && w.node.AtHead()
 	if !atHead && w.th.WouldLower(w.dq.Size()) {
 		w.th.Lower()
 		w.retuneLocked(&evs)
@@ -963,7 +969,7 @@ func (w *worker) afterShrink() {
 // outOfWork relays immediacy down the thief chain and leaves the
 // immediacy list (Algorithm 3.1 lines 6–14).
 func (w *worker) outOfWork() {
-	if !w.e.cfg.Mode.Workpath() {
+	if !w.e.modeNow().Workpath() {
 		return
 	}
 	var evs []obs.Event
@@ -1004,7 +1010,7 @@ func (w *worker) stealRound() (*task, bool) {
 			t.job.perW[w.id].steals++
 		}
 		w.e.emit(obs.Event{Kind: obs.Steal, Worker: w.id, Victim: v.id})
-		mode := w.e.cfg.Mode
+		mode := w.e.modeNow()
 		var evs []obs.Event
 		if mode.Workpath() {
 			w.e.tempoMu.Lock()
@@ -1038,10 +1044,10 @@ func (w *worker) stealRound() (*task, bool) {
 // victimShrinkLocked applies Figure 5's STEAL check on the victim
 // side; tempoMu must be held.
 func (w *worker) victimShrinkLocked(v *worker, pend *[]obs.Event) {
-	if !w.e.cfg.Mode.Workload() {
+	if !w.e.modeNow().Workload() {
 		return
 	}
-	atHead := w.e.cfg.Mode.Workpath() && v.node.AtHead()
+	atHead := w.e.modeNow().Workpath() && v.node.AtHead()
 	if !atHead && v.th.WouldLower(v.dq.Size()) {
 		v.th.Lower()
 		v.retuneLocked(pend)
@@ -1058,7 +1064,7 @@ func (w *worker) victimShrinkLocked(v *worker, pend *[]obs.Event) {
 // caller to emit after unlocking.
 func (w *worker) retuneLocked(pend *[]obs.Event) {
 	level := w.wpLevel
-	if w.e.cfg.Mode.Workload() {
+	if w.e.modeNow().Workload() {
 		level += w.th.K() - w.th.Tier()
 	}
 	fi := level

@@ -1,15 +1,3 @@
-// Package sim is a deterministic discrete-event engine. Simulated
-// activities (workers, the DAQ sampler) run as coroutine-style
-// processes: ordinary goroutines that the engine resumes one at a
-// time, so execution is single-threaded in effect and fully
-// reproducible — the event order depends only on (virtual time,
-// schedule order).
-//
-// A process parks either until a scheduled virtual time (Sleep /
-// WaitUntil) or indefinitely (ParkUntilWake), and any running process
-// may wake a parked one (Wake), cancelling its pending timer. This
-// early-wake primitive is what lets the scheduler re-rate in-flight
-// task work when a DVFS transition commits mid-task.
 package sim
 
 import (

@@ -92,11 +92,23 @@ type ClusterPoint struct {
 // ClusterCurve is one (policy, machines) combination's curve over the
 // rate grid.
 type ClusterCurve struct {
-	Policy        string         `json:"policy"`
-	Machines      int            `json:"machines"`
-	UnloadedP50MS float64        `json:"unloaded_p50_ms"`
-	KneeRPS       float64        `json:"knee_rps"`
-	Points        []ClusterPoint `json:"points"`
+	Policy        string  `json:"policy"`
+	Machines      int     `json:"machines"`
+	UnloadedP50MS float64 `json:"unloaded_p50_ms"`
+	// KneeRPS is null when no knee resolved (single-rate grid, no
+	// crossing); KneeReason says why — same semantics as Curve.
+	KneeRPS    *float64       `json:"knee_rps"`
+	KneeReason string         `json:"knee_reason,omitempty"`
+	Points     []ClusterPoint `json:"points"`
+}
+
+// Knee returns the curve's resolved knee rate, reporting false when
+// knee detection could not resolve one (KneeRPS is null).
+func (c ClusterCurve) Knee() (float64, bool) {
+	if c.KneeRPS == nil {
+		return 0, false
+	}
+	return *c.KneeRPS, true
 }
 
 // ClusterResult is the cluster sweep artifact: one curve per (policy,
@@ -364,7 +376,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 				}
 			}
 			curve.UnloadedP50MS = curve.Points[0].P50SojournMS
-			curve.KneeRPS = Knee(rates, p99s, curve.UnloadedP50MS, factor)
+			curve.KneeRPS, curve.KneeReason = DetectKnee(rates, p99s, curve.UnloadedP50MS, factor)
 			res.Curves = append(res.Curves, curve)
 		}
 	}
@@ -386,11 +398,11 @@ func (r ClusterResult) CSV() string {
 			for i, m := range p.PerMachine {
 				per[i] = fmt.Sprintf("%d:%d:%d:%.6f", m.Machine, m.Placed, m.Migrated, m.EnergyJ)
 			}
-			fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%d,%d,%g,%s\n",
+			fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%d,%d,%s,%s\n",
 				c.Policy, c.Machines, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
 				p.P50SojournMS, p.P95SojournMS, p.P99SojournMS, p.MaxSojournMS,
 				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
-				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines, c.KneeRPS,
+				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines, kneeCSV(c.KneeRPS),
 				strings.Join(per, ";"))
 		}
 	}
@@ -404,8 +416,8 @@ func (r ClusterResult) String() string {
 		r.Workload, r.Mode, r.WindowS, r.Seed, r.Trials, r.Workers)
 	for _, c := range r.Curves {
 		fmt.Fprintf(&b, "policy %s × %d machines (unloaded p50 %.3fms", c.Policy, c.Machines, c.UnloadedP50MS)
-		if c.KneeRPS > 0 {
-			fmt.Fprintf(&b, ", knee @ %g rps ×%g", c.KneeRPS, r.KneeFactor)
+		if k, ok := c.Knee(); ok {
+			fmt.Fprintf(&b, ", knee @ %g rps ×%g", k, r.KneeFactor)
 		} else {
 			fmt.Fprintf(&b, ", no knee ≤ %g rps", r.RatesRPS[len(r.RatesRPS)-1])
 		}

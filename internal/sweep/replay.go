@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"fmt"
+
+	"hermes"
+	"hermes/internal/units"
+)
+
+// ReplayConfig parameterizes one arrival-trace replay on a throwaway
+// Sim pool.
+type ReplayConfig struct {
+	Mode    hermes.Mode
+	Workers int // 0 = backend default
+	Seed    int64
+	// Log, when non-nil, receives a diagnostic line per failed job.
+	Log func(string)
+}
+
+// Replay is the measured outcome of replaying one arrival trace
+// through a fresh simulated machine: the deterministic prediction the
+// /capacity digital twin returns. A fixed (config, trace) pair
+// reproduces it exactly.
+type Replay struct {
+	Arrivals     int64   `json:"arrivals"`
+	Completed    int64   `json:"completed"`
+	Errors       int64   `json:"errors"`
+	PeakInflight int64   `json:"peak_inflight"`
+	MakespanS    float64 `json:"makespan_s"`
+	// OfferedRPS is arrivals over the trace's arrival span; ObservedRPS
+	// is completions over the makespan.
+	OfferedRPS  float64 `json:"offered_rps"`
+	ObservedRPS float64 `json:"observed_rps"`
+
+	P50SojournMS float64 `json:"p50_sojourn_ms"`
+	P95SojournMS float64 `json:"p95_sojourn_ms"`
+	P99SojournMS float64 `json:"p99_sojourn_ms"`
+	MaxSojournMS float64 `json:"max_sojourn_ms"`
+	P99QueueMS   float64 `json:"p99_queue_ms"`
+
+	JoulesPerRequest float64 `json:"joules_per_request"`
+	AvgPowerW        float64 `json:"avg_power_w"`
+}
+
+// ReplayTrace replays an explicit arrival trace through a fresh
+// virtual-time Sim pool and measures the open-system outcome — the
+// primitive under both the sweep's generated grid points and the
+// serving layer's /capacity endpoint, which replays a captured (and
+// rate-scaled) production trace to predict behaviour at traffic the
+// machine has not yet seen. Arrival times must be non-negative and
+// ascending.
+func ReplayTrace(cfg ReplayConfig, arrivals []hermes.Arrival) (Replay, error) {
+	var out Replay
+	if len(arrivals) == 0 {
+		return out, fmt.Errorf("sweep: replay: empty arrival trace")
+	}
+	for i, a := range arrivals {
+		if a.At < 0 {
+			return out, fmt.Errorf("sweep: replay: arrival %d at negative time %v", i, a.At)
+		}
+		if i > 0 && a.At < arrivals[i-1].At {
+			return out, fmt.Errorf("sweep: replay: arrivals not ascending at %d", i)
+		}
+	}
+	ropts := []hermes.Option{
+		hermes.WithBackend(hermes.Sim),
+		hermes.WithMode(cfg.Mode),
+		hermes.WithSeed(cfg.Seed),
+	}
+	if cfg.Workers > 0 {
+		ropts = append(ropts, hermes.WithWorkers(cfg.Workers))
+	}
+	rt, err := hermes.New(ropts...)
+	if err != nil {
+		return out, err
+	}
+	jobs, err := rt.SubmitTrace(nil, arrivals)
+	if err != nil {
+		rt.Close()
+		return out, err
+	}
+	out.Arrivals = int64(len(arrivals))
+	var (
+		sojourns, queues []units.Time
+		spans            []Span
+		makespan         units.Time
+		jobJoules        float64
+	)
+	for i, j := range jobs {
+		rep, err := j.Wait()
+		done := arrivals[i].At + rep.Sojourn
+		spans = append(spans, Span{Arrive: arrivals[i].At, Done: done})
+		if done > makespan {
+			makespan = done
+		}
+		if err != nil {
+			out.Errors++
+			if cfg.Log != nil {
+				cfg.Log(fmt.Sprintf("sweep: replay: job %d failed: %v", j.ID(), err))
+			}
+			continue
+		}
+		sojourns = append(sojourns, rep.Sojourn)
+		q := rep.Sojourn - rep.Span
+		if q < 0 {
+			q = 0
+		}
+		queues = append(queues, q)
+		jobJoules += rep.EnergyJ
+	}
+	if err := rt.Close(); err != nil {
+		return out, err
+	}
+	ms, err := rt.MachineStats()
+	if err != nil {
+		return out, err
+	}
+	out.Completed = int64(len(sojourns))
+	out.PeakInflight = PeakInflight(spans)
+	out.MakespanS = makespan.Seconds()
+	if span := arrivals[len(arrivals)-1].At - arrivals[0].At; span > 0 {
+		out.OfferedRPS = float64(len(arrivals)) / span.Seconds()
+	}
+	if out.MakespanS > 0 {
+		out.ObservedRPS = float64(out.Completed) / out.MakespanS
+	}
+	sortTimes(sojourns)
+	sortTimes(queues)
+	out.P50SojournMS = pctMS(sojourns, 0.50)
+	out.P95SojournMS = pctMS(sojourns, 0.95)
+	out.P99SojournMS = pctMS(sojourns, 0.99)
+	out.MaxSojournMS = pctMS(sojourns, 1)
+	out.P99QueueMS = pctMS(queues, 0.99)
+	if out.Completed > 0 {
+		out.JoulesPerRequest = jobJoules / float64(out.Completed)
+	}
+	if s := ms.Elapsed.Seconds(); s > 0 {
+		out.AvgPowerW = ms.EnergyJ / s
+	}
+	return out, nil
+}

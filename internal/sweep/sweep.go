@@ -1,18 +1,3 @@
-// Package sweep runs open-system evaluations over the virtual-time
-// Sim pool: for each point of a (workload × tempo-mode × arrival-rate)
-// grid it generates a seeded Poisson arrival trace, replays it through
-// Runtime.SubmitTrace on the deterministic discrete-event machine, and
-// measures the open-system quantities the paper's closed-system
-// figures cannot show — sojourn percentiles, queueing delay,
-// joules/request, average power, steals/request and DVFS-tier
-// residency as functions of offered load, per tempo mode.
-//
-// Every point is deterministic: a fixed config and seed reproduce
-// byte-identical JSON artifacts, so the curves are CI-diffable
-// evaluation results rather than wall-clock experiments. Knee
-// detection marks the first rate whose p99 sojourn exceeds a
-// configurable multiple of the unloaded p50 — where the mode's
-// latency curve leaves the flat regime.
 package sweep
 
 import (
@@ -120,6 +105,38 @@ func Knee(rates []float64, p99MS []float64, unloadedP50MS, factor float64) float
 		}
 	}
 	return 0
+}
+
+// Knee-unresolved reasons carried by Curve.KneeReason when KneeRPS is
+// null.
+const (
+	// KneeReasonSingleRate: a one-rate grid has no unloaded baseline
+	// distinct from its only loaded point, so no knee slope exists.
+	KneeReasonSingleRate = "single-rate grid: no unloaded baseline to detect a knee against"
+	// KneeReasonNoCrossing: no grid rate pushed p99 past the threshold.
+	KneeReasonNoCrossing = "no rate in the grid crossed the knee threshold"
+	// KneeReasonNoBaseline: the unloaded p50 was zero (no completions
+	// at the lowest rate), leaving the threshold undefined.
+	KneeReasonNoBaseline = "unloaded p50 is zero: knee threshold undefined"
+)
+
+// DetectKnee runs knee detection with explicit "no knee" semantics: it
+// returns a pointer to the knee rate when one resolved, or nil plus a
+// human-readable reason. A single-rate grid can never resolve a knee —
+// its only point doubles as the unloaded baseline — and reporting that
+// as a zero-value knee would read downstream as "knee at rate 0", so
+// artifacts carry null instead (the hermes-bench -sweep bugfix).
+func DetectKnee(rates []float64, p99MS []float64, unloadedP50MS, factor float64) (*float64, string) {
+	if len(rates) < 2 {
+		return nil, KneeReasonSingleRate
+	}
+	if unloadedP50MS <= 0 {
+		return nil, KneeReasonNoBaseline
+	}
+	if k := Knee(rates, p99MS, unloadedP50MS, factor); k > 0 {
+		return &k, ""
+	}
+	return nil, KneeReasonNoCrossing
 }
 
 // Tier is one DVFS frequency tier's share of the machine's busy time
@@ -383,9 +400,23 @@ type Curve struct {
 	// knee detector's baseline for "unloaded" latency.
 	UnloadedP50MS float64 `json:"unloaded_p50_ms"`
 	// KneeRPS is the first rate whose p99 sojourn exceeds
-	// KneeFactor × UnloadedP50MS; 0 means no knee inside the grid.
-	KneeRPS float64 `json:"knee_rps"`
-	Points  []Point `json:"points"`
+	// KneeFactor × UnloadedP50MS, or null when no knee resolved —
+	// KneeReason says why (single-rate grid, no crossing). Null is
+	// deliberate: a zero value would read as "knee at rate 0" to model
+	// loaders.
+	KneeRPS *float64 `json:"knee_rps"`
+	// KneeReason explains a null KneeRPS; empty when a knee resolved.
+	KneeReason string  `json:"knee_reason,omitempty"`
+	Points     []Point `json:"points"`
+}
+
+// Knee returns the curve's resolved knee rate, reporting false when
+// knee detection could not resolve one (KneeRPS is null).
+func (c Curve) Knee() (float64, bool) {
+	if c.KneeRPS == nil {
+		return 0, false
+	}
+	return *c.KneeRPS, true
 }
 
 // Result is the sweep artifact: one curve per tempo mode over the
@@ -469,10 +500,19 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		curve.UnloadedP50MS = curve.Points[0].P50SojournMS
-		curve.KneeRPS = Knee(rates, p99s, curve.UnloadedP50MS, factor)
+		curve.KneeRPS, curve.KneeReason = DetectKnee(rates, p99s, curve.UnloadedP50MS, factor)
 		res.Curves = append(res.Curves, curve)
 	}
 	return res, nil
+}
+
+// kneeCSV renders a curve's knee for a CSV cell: the rate, or empty
+// when no knee resolved (never a synthetic 0).
+func kneeCSV(k *float64) string {
+	if k == nil {
+		return ""
+	}
+	return fmt.Sprintf("%g", *k)
 }
 
 // CSV renders the sweep flat, one row per (mode, rate) point, with the
@@ -489,11 +529,11 @@ func (r Result) CSV() string {
 			for i, t := range p.Tiers {
 				tiers[i] = fmt.Sprintf("%d:%.6f", t.FreqKHz, t.Frac)
 			}
-			fmt.Fprintf(&b, "%s,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%g,%s\n",
+			fmt.Fprintf(&b, "%s,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%s,%s\n",
 				c.Mode, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
 				p.P50SojournMS, p.P95SojournMS, p.P99SojournMS, p.MaxSojournMS,
 				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
-				p.JoulesPerRequest, p.AvgPowerW, p.StealsPerRequest, c.KneeRPS,
+				p.JoulesPerRequest, p.AvgPowerW, p.StealsPerRequest, kneeCSV(c.KneeRPS),
 				strings.Join(tiers, ";"))
 		}
 	}
@@ -507,8 +547,8 @@ func (r Result) String() string {
 		r.Workload, r.WindowS, r.Seed, r.Trials, r.Workers)
 	for _, c := range r.Curves {
 		fmt.Fprintf(&b, "mode %s (unloaded p50 %.3fms", c.Mode, c.UnloadedP50MS)
-		if c.KneeRPS > 0 {
-			fmt.Fprintf(&b, ", knee @ %g rps ×%g", c.KneeRPS, r.KneeFactor)
+		if k, ok := c.Knee(); ok {
+			fmt.Fprintf(&b, ", knee @ %g rps ×%g", k, r.KneeFactor)
 		} else {
 			fmt.Fprintf(&b, ", no knee ≤ %g rps", r.RatesRPS[len(r.RatesRPS)-1])
 		}

@@ -1,17 +1,3 @@
-// Package synth builds parameterized synthetic workloads — the job
-// bodies hermes-serve accepts over HTTP and hermes-bench's load
-// generator replays. Each workload is expressed through the wl.Ctx
-// cost-accounting API, so the same request shapes run on either
-// backend: the simulator charges the declared cycles to virtual time,
-// the native executor throttles them in wall-clock time.
-//
-// Three shapes cover the classic stealing regimes:
-//
-//   - fib: an irregular recursive spawn tree (steal-heavy, the
-//     canonical Cilk microbenchmark);
-//   - matmul: a row-parallel dense kernel (regular, wide, memory-mixed);
-//   - ticks: a flat parallel loop of independent units (embarrassingly
-//     parallel service work).
 package synth
 
 import (

@@ -1,0 +1,19 @@
+// Package tempo implements the two HERMES tempo-control mechanisms of
+// Ribic & Liu (ASPLOS 2014), independent of any executor:
+//
+//   - the immediacy list for workpath-sensitive control (Section 3.1):
+//     a doubly-linked list across workers ordered by work-first
+//     immediacy, grown at steal time and relayed when a victim runs
+//     out of work;
+//   - the deque-size thresholds for workload-sensitive control
+//     (Section 3.2), including the online profiler that derives
+//     thresholds from the recent average deque size:
+//     thld_i = (2L/(K+1))·i for i = 1..K.
+//
+// The paper's Figure 5 pseudocode has two known slips that this
+// package resolves (documented in DESIGN.md): list insertion line 23
+// is corrected to the standard doubly-linked insert, and the tier
+// index S spans [0, K] so that K thresholds yield K+1 tempo tiers as
+// the prose example (L=15, K=2 → thresholds {10, 20}, three tiers)
+// requires.
+package tempo

@@ -109,6 +109,12 @@ var ErrNilTask = errors.New("hermes: nil root task")
 // energy accounting lives in per-job Reports). Test with errors.Is.
 var ErrStatsUnavailable = errors.New("hermes: machine stats unavailable on this backend")
 
+// ErrModeSwitchUnavailable is the sentinel wrapped by SetMode when the
+// backend cannot change tempo mode while running (today: Sim, whose
+// determinism contract fixes the whole configuration for the run's
+// virtual timeline). Test with errors.Is.
+var ErrModeSwitchUnavailable = errors.New("hermes: live mode switching unavailable on this backend")
+
 // Executor is the backend contract behind a Runtime: both the
 // discrete-event simulator and the real-concurrency pool serve
 // submitted jobs through it.
@@ -203,8 +209,31 @@ func New(opts ...Option) (*Runtime, error) {
 }
 
 // Config returns the validated configuration the Runtime runs with
-// (defaults filled in).
-func (r *Runtime) Config() Config { return r.cfg }
+// (defaults filled in). On backends that support live mode switching
+// the returned Mode reflects the current mode, not the boot value.
+func (r *Runtime) Config() Config {
+	if ex, ok := r.exec.(interface{ Config() core.Config }); ok {
+		return ex.Config()
+	}
+	return r.cfg
+}
+
+// SetMode switches the Runtime's tempo mode while it serves traffic —
+// the serving control plane's actuator. Jobs in flight keep running;
+// only the DVFS control law changes, with all tempo state (immediacy
+// list, workload tiers) reset to the target mode's boot invariants.
+// Native backend only: the simulator's determinism contract fixes the
+// configuration for a run, so Sim returns an error wrapping
+// ErrModeSwitchUnavailable. Switching into a tempo-controlled mode
+// requires the ≥2-frequency ladder such a mode needs at construction.
+func (r *Runtime) SetMode(m Mode) error {
+	ms, ok := r.exec.(interface{ SetMode(core.Mode) error })
+	if !ok {
+		return fmt.Errorf("%w: SetMode needs the Native backend (runtime is %v)",
+			ErrModeSwitchUnavailable, r.backend)
+	}
+	return ms.SetMode(m)
+}
 
 // Backend returns the execution engine the Runtime was built with.
 func (r *Runtime) Backend() Backend { return r.backend }

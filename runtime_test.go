@@ -732,3 +732,86 @@ func TestMachineStats(t *testing.T) {
 		t.Fatalf("MachineStats on Native returned %v; want ErrStatsUnavailable", err)
 	}
 }
+
+// TestSetModeNative switches tempo mode on a live Native pool: jobs
+// before, across and after the switch all complete, reports reflect
+// the mode they ran under, and Config tracks the live mode.
+func TestSetModeNative(t *testing.T) {
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithWorkers(4),
+		hermes.WithMode(hermes.Baseline),
+		hermes.WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	root, _ := leafWorkload(64)
+	if r, err := rt.Run(context.Background(), root); err != nil || r.Mode != hermes.Baseline {
+		t.Fatalf("pre-switch run: mode=%v err=%v", r.Mode, err)
+	}
+
+	// Switch under load: a job submitted before the switch keeps
+	// running while the mode changes beneath it.
+	before, _ := rt.Submit(context.Background(), root)
+	if err := rt.SetMode(hermes.Unified); err != nil {
+		t.Fatalf("SetMode(Unified): %v", err)
+	}
+	if _, err := before.Wait(); err != nil {
+		t.Fatalf("job spanning the switch failed: %v", err)
+	}
+	if got := rt.Config().Mode; got != hermes.Unified {
+		t.Fatalf("Config().Mode = %v after switch, want Unified", got)
+	}
+	if r, err := rt.Run(context.Background(), root); err != nil || r.Mode != hermes.Unified {
+		t.Fatalf("post-switch run: mode=%v err=%v", r.Mode, err)
+	}
+
+	// Idempotent and reversible.
+	if err := rt.SetMode(hermes.Unified); err != nil {
+		t.Fatalf("no-op SetMode: %v", err)
+	}
+	if err := rt.SetMode(hermes.Baseline); err != nil {
+		t.Fatalf("SetMode back to Baseline: %v", err)
+	}
+	if r, err := rt.Run(context.Background(), root); err != nil || r.Mode != hermes.Baseline {
+		t.Fatalf("post-revert run: mode=%v err=%v", r.Mode, err)
+	}
+}
+
+// TestSetModeSimRejected pins the Sim sentinel: the deterministic
+// backend cannot change configuration mid-run.
+func TestSetModeSimRejected(t *testing.T) {
+	rt, err := hermes.New(hermes.WithBackend(hermes.Sim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	err = rt.SetMode(hermes.Unified)
+	if !errors.Is(err, hermes.ErrModeSwitchUnavailable) {
+		t.Fatalf("Sim SetMode err = %v, want ErrModeSwitchUnavailable", err)
+	}
+}
+
+// TestSetModeRejectsShortFreqLadder: a pool booted with one frequency
+// cannot be switched into a mode that needs a ladder.
+func TestSetModeRejectsShortFreqLadder(t *testing.T) {
+	rt, err := hermes.New(
+		hermes.WithBackend(hermes.Native),
+		hermes.WithWorkers(2),
+		hermes.WithMode(hermes.Baseline),
+		hermes.WithFreqs(2_400_000*hermes.KHz),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.SetMode(hermes.Unified); err == nil {
+		t.Fatal("SetMode into Unified with a 1-frequency ladder should error")
+	}
+	if err := rt.SetMode(hermes.Mode(250)); err == nil {
+		t.Fatal("SetMode with an invalid mode should error")
+	}
+}
