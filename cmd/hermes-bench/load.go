@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
@@ -16,7 +15,9 @@ import (
 
 	"hermes"
 	"hermes/internal/metrics"
-	"hermes/internal/synth"
+	"hermes/internal/trace"
+	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 // loadOpts parameterizes one open-loop load-generation run.
@@ -26,8 +27,11 @@ type loadOpts struct {
 	URL      string
 	RPS      float64
 	Duration time.Duration
-	Spec     synth.Spec
-	Seed     int64
+	Spec     workload.Spec
+	// Trace names the arrival process from the internal/trace registry
+	// ("" = poisson).
+	Trace string
+	Seed  int64
 
 	// In-process runtime shape (ignored when URL is set).
 	Backend string
@@ -42,13 +46,16 @@ type loadOpts struct {
 // loadSummary is the run's JSON result — the artifact CI records for
 // the perf trajectory.
 type loadSummary struct {
-	Target    string     `json:"target"`
-	Workload  synth.Spec `json:"workload"`
-	RPSTarget float64    `json:"rps_target"`
-	DurationS float64    `json:"duration_s"`
-	Submitted int64      `json:"submitted"`
-	Completed int64      `json:"completed"`
-	Rejected  int64      `json:"rejected"`
+	Target   string        `json:"target"`
+	Workload workload.Spec `json:"workload"`
+	// Trace is the arrival process, normalized so the default poisson
+	// process stays "" (byte-stable poisson-era artifacts).
+	Trace     string  `json:"trace,omitempty"`
+	RPSTarget float64 `json:"rps_target"`
+	DurationS float64 `json:"duration_s"`
+	Submitted int64   `json:"submitted"`
+	Completed int64   `json:"completed"`
+	Rejected  int64   `json:"rejected"`
 	// Pruned counts jobs that completed but whose status record was
 	// evicted from the server's retention window before the client
 	// observed it: done, but with no sojourn sample. Included in
@@ -92,16 +99,20 @@ const (
 // returns the request's attributed joules where the target knows it
 // per job (in-process), else 0 with energy recovered from metrics.
 type target interface {
-	do(spec synth.Spec) (outcome, error)
+	do(spec workload.Spec) (outcome, error)
 	// finish returns (joules attributed to completed requests, dropped events).
 	finish() (float64, uint64, error)
 	name() string
 }
 
-// runLoad drives an open-loop Poisson arrival process at opts.RPS for
+// runLoad drives an open-loop seeded arrival process at opts.RPS for
 // opts.Duration: arrivals are scheduled independently of completions
 // (sojourn time includes queueing delay, the open-system metric), and
 // every request is tracked to completion even past the arrival window.
+// The schedule comes from the internal/trace registry — the SAME
+// generator the sweep replays in virtual time — so `-load` and
+// `-sweep` fire identical arrival sequences for identical (trace,
+// rps, window, seed).
 func runLoad(opts loadOpts) (loadSummary, error) {
 	if opts.RPS <= 0 {
 		return loadSummary{}, fmt.Errorf("load: rps must be positive, got %g", opts.RPS)
@@ -114,12 +125,24 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		return loadSummary{}, err
 	}
 	opts.Spec = spec
+	proc, err := trace.Resolve(opts.Trace)
+	if err != nil {
+		return loadSummary{}, err
+	}
 
 	if opts.URL == "" && opts.Backend == "sim" {
 		// The simulator multiplexes jobs in virtual time: replay the
 		// whole arrival trace deterministically instead of racing the
 		// wall clock.
 		return runVirtualLoad(opts)
+	}
+
+	// Pre-draw the whole seeded schedule, then pace it against the
+	// wall clock: each point carries its arrival offset and service
+	// size.
+	points, err := proc.Points(opts.Seed, opts.RPS, opts.Duration)
+	if err != nil {
+		return loadSummary{}, err
 	}
 
 	var tgt target
@@ -142,19 +165,13 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		errs                atomic.Int64
 		inflight, peak      atomic.Int64
 	)
-	rng := rand.New(rand.NewPCG(uint64(opts.Seed), 0x9e3779b97f4a7c15))
 	start := time.Now()
-	deadline := start.Add(opts.Duration)
-	next := start
-	for {
-		// Exponential interarrival: a Poisson process at RPS.
-		next = next.Add(time.Duration(rng.ExpFloat64() / opts.RPS * float64(time.Second)))
-		if next.After(deadline) {
-			break
-		}
-		if d := time.Until(next); d > 0 {
+	for _, pt := range points {
+		due := start.Add(time.Duration(int64(pt.At / units.Nanosecond)))
+		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
+		spec := opts.Spec.Sized(pt.Size)
 		submitted.Add(1)
 		wg.Add(1)
 		go func() {
@@ -164,7 +181,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 			}
 			defer inflight.Add(-1)
 			t0 := time.Now()
-			out, err := tgt.do(opts.Spec)
+			out, err := tgt.do(spec)
 			switch {
 			case err != nil:
 				errs.Add(1)
@@ -198,6 +215,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	sum := loadSummary{
 		Target:        tgt.name(),
 		Workload:      opts.Spec,
+		Trace:         trace.Canonical(proc.Name),
 		RPSTarget:     opts.RPS,
 		DurationS:     elapsed.Seconds(),
 		Submitted:     submitted.Load(),
@@ -287,7 +305,7 @@ func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 
 func (t *inprocTarget) name() string { return "in-process/" + t.rt.Backend().String() }
 
-func (t *inprocTarget) do(spec synth.Spec) (outcome, error) {
+func (t *inprocTarget) do(spec workload.Spec) (outcome, error) {
 	task, _, err := spec.Task()
 	if err != nil {
 		return outcomeOK, err
@@ -361,7 +379,7 @@ func (t *httpTarget) prime() error {
 // 2 ms poll-interval bias and idle polling disappears.
 const statusWait = 5 * time.Second
 
-func (t *httpTarget) do(spec synth.Spec) (outcome, error) {
+func (t *httpTarget) do(spec workload.Spec) (outcome, error) {
 	if err := t.prime(); err != nil {
 		return outcomeOK, err
 	}

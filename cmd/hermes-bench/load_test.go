@@ -3,10 +3,13 @@ package main
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
-	"hermes/internal/synth"
+	"hermes/internal/sweep"
+	"hermes/internal/trace"
+	"hermes/internal/workload"
 )
 
 func TestPercentileMS(t *testing.T) {
@@ -52,8 +55,60 @@ func TestRunLoadValidation(t *testing.T) {
 		t.Error("duration=0 accepted")
 	}
 	if _, err := runLoad(loadOpts{RPS: 10, Duration: time.Second,
-		Spec: synth.Spec{Kind: "nope"}}); err == nil {
+		Spec: workload.Spec{Kind: "nope"}}); err == nil {
 		t.Error("bad workload accepted")
+	}
+	if _, err := runLoad(loadOpts{RPS: 10, Duration: time.Second,
+		Spec: workload.Spec{Kind: "ticks"}, Trace: "lognormal"}); err == nil {
+		t.Error("bad trace accepted")
+	} else if !strings.Contains(err.Error(), "poisson") {
+		t.Errorf("bad-trace error %q does not list registered processes", err)
+	}
+}
+
+// TestLoadAndSweepShareOneGenerator is the single-salt pin: the
+// wall-clock load generator and the virtual-time sweep draw their
+// arrival schedules from the SAME internal/trace process, so for one
+// (trace, rps, window, seed) tuple both paths fire the identical
+// sequence. Before the registry, each path kept its own copy of the
+// PCG salt constant; this test fails if a second generator ever
+// reappears.
+func TestLoadAndSweepShareOneGenerator(t *testing.T) {
+	const (
+		rps    = 250.0
+		window = time.Second
+		seed   = int64(9)
+	)
+	spec, err := workload.Spec{Kind: "ticks", N: 16}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range trace.Names() {
+		proc, err := trace.Resolve(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The wall-clock path: runLoad pre-draws proc.Points and paces
+		// them against real time.
+		pts, err := proc.Points(seed, rps, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sweep path: TraceArrivals compiles the same schedule into
+		// a virtual-time trace.
+		arr, err := sweep.TraceArrivals(spec, name, rps, window, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(arr) {
+			t.Fatalf("%s: load draws %d arrivals, sweep %d", name, len(pts), len(arr))
+		}
+		for i := range pts {
+			if pts[i].At != arr[i].At {
+				t.Fatalf("%s: arrival %d at %v on the load path, %v on the sweep path",
+					name, i, pts[i].At, arr[i].At)
+			}
+		}
 	}
 }
 
@@ -64,7 +119,7 @@ func TestInprocLoadShortRun(t *testing.T) {
 	sum, err := runLoad(loadOpts{
 		RPS:      200,
 		Duration: 500 * time.Millisecond,
-		Spec:     synth.Spec{Kind: "ticks", N: 16, Work: 50_000},
+		Spec:     workload.Spec{Kind: "ticks", N: 16, Work: 50_000},
 		Seed:     42,
 		Backend:  "native",
 		Mode:     "unified",
@@ -99,7 +154,7 @@ func TestVirtualLoadDeterministic(t *testing.T) {
 	opts := loadOpts{
 		RPS:      400,
 		Duration: 300 * time.Millisecond, // virtual window — no wall-clock pacing
-		Spec:     synth.Spec{Kind: "ticks", N: 64, Work: 100_000},
+		Spec:     workload.Spec{Kind: "ticks", N: 64, Work: 100_000},
 		Seed:     7,
 		Backend:  "sim",
 		Mode:     "unified",

@@ -51,12 +51,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"hermes/internal/harness"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
+	"hermes/internal/trace"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 func main() {
@@ -79,17 +81,20 @@ func main() {
 		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
 		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
 		url        = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
-		workload   = flag.String("workload", "ticks", "load: synthetic workload kind (fib, matmul, ticks)")
-		n          = flag.Int("n", 0, "load: workload size (0 = workload default)")
-		grain      = flag.Int("grain", 0, "load: task granularity (0 = workload default)")
-		work       = flag.Int64("work", 0, "load: cycles per unit (0 = workload default)")
-		memfrac    = flag.Float64("memfrac", 0, "load: memory-bound fraction of work")
-		backend    = flag.String("backend", "native", "load in-process: backend (native or sim)")
-		mode       = flag.String("mode", "unified", "load in-process: tempo mode")
-		workers    = flag.Int("workers", 0, "load in-process: worker count (0 = default)")
-		buffer     = flag.Int("buffer", 1<<16, "load in-process: async observer buffer size")
-		seed       = flag.Int64("seed", 1, "load: arrival-process seed")
-		jsonPath   = flag.String("json", "", "load: write the JSON summary to this path")
+		kind       = flag.String("workload", "ticks",
+			"load/sweep: workload kind ("+strings.Join(workload.Names(), ", ")+")")
+		traceName = flag.String("trace", "",
+			"load/sweep: arrival process ("+strings.Join(trace.Names(), ", ")+"; empty = poisson)")
+		n        = flag.Int("n", 0, "load: workload size (0 = workload default)")
+		grain    = flag.Int("grain", 0, "load: task granularity (0 = workload default)")
+		work     = flag.Int64("work", 0, "load: cycles per unit (0 = workload default)")
+		memfrac  = flag.Float64("memfrac", 0, "load: memory-bound fraction of work")
+		backend  = flag.String("backend", "native", "load in-process: backend (native or sim)")
+		mode     = flag.String("mode", "unified", "load in-process: tempo mode")
+		workers  = flag.Int("workers", 0, "load in-process: worker count (0 = default)")
+		buffer   = flag.Int("buffer", 1<<16, "load in-process: async observer buffer size")
+		seed     = flag.Int64("seed", 1, "load: arrival-process seed")
+		jsonPath = flag.String("json", "", "load: write the JSON summary to this path")
 	)
 	flag.Parse()
 
@@ -113,10 +118,11 @@ func main() {
 
 	if *sweepMode {
 		err := runSweep(sweepOpts{
-			Spec: synth.Spec{
-				Kind: *workload, N: *n, Grain: *grain,
+			Spec: workload.Spec{
+				Kind: *kind, N: *n, Grain: *grain,
 				Work: units.Cycles(*work), MemFrac: *memfrac,
 			},
+			Trace:      *traceName,
 			Rates:      *rates,
 			Modes:      *modes,
 			Machines:   *machines,
@@ -142,10 +148,11 @@ func main() {
 			URL:      *url,
 			RPS:      *rps,
 			Duration: *duration,
-			Spec: synth.Spec{
-				Kind: *workload, N: *n, Grain: *grain,
+			Spec: workload.Spec{
+				Kind: *kind, N: *n, Grain: *grain,
 				Work: units.Cycles(*work), MemFrac: *memfrac,
 			},
+			Trace:   *traceName,
 			Seed:    *seed,
 			Backend: *backend,
 			Mode:    *mode,

@@ -11,12 +11,13 @@ import (
 
 	"hermes"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // sweepOpts parameterizes one -sweep invocation.
 type sweepOpts struct {
-	Spec       synth.Spec
+	Spec       workload.Spec
+	Trace      string // arrival process name ("" = poisson)
 	Rates      string // comma-separated offered RPS grid
 	Modes      string // comma-separated tempo modes
 	Machines   string // comma-separated fleet sizes; "" = single-machine sweep
@@ -137,6 +138,7 @@ func runSweep(opts sweepOpts) error {
 	}
 	cfg := sweep.Config{
 		Workload:   opts.Spec,
+		Trace:      opts.Trace,
 		Modes:      modes,
 		RatesRPS:   rates,
 		Window:     opts.Window,
@@ -185,6 +187,7 @@ func runClusterSweep(opts sweepOpts, rates []float64, modes []hermes.Mode) error
 	}
 	cfg := sweep.ClusterConfig{
 		Workload:   opts.Spec,
+		Trace:      opts.Trace,
 		Mode:       modes[0],
 		Policies:   policies,
 		Machines:   machines,

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // TestParseRatesValidation: the -rates grid is validated up front —
@@ -57,7 +57,7 @@ func TestParsePlacementsValidation(t *testing.T) {
 // tempo mode; a multi-mode -modes list is rejected up front.
 func TestRunSweepClusterNeedsOneMode(t *testing.T) {
 	err := runSweep(sweepOpts{
-		Spec:      synth.Spec{Kind: "ticks"},
+		Spec:      workload.Spec{Kind: "ticks"},
 		Rates:     "100",
 		Modes:     "baseline,unified",
 		Machines:  "2",

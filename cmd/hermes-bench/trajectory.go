@@ -9,7 +9,7 @@ import (
 	"hermes"
 	"hermes/internal/deque"
 	"hermes/internal/hotload"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // The trajectory mode (-trajectory) is the perf snapshot CI records
@@ -65,8 +65,9 @@ func runTrajectory(verbose bool) (trajectorySummary, error) {
 
 	// Native spawn/join: one warm job, then a timed job of fixed ops
 	// with allocation accounting around it. The workload bodies come
-	// from internal/hotload — the same ones the go-test benchmarks
-	// run — so this JSON and the bench output stay comparable.
+	// through the registry's "spawnjoin" entry — the same
+	// internal/hotload loops the go-test benchmarks run — so this JSON
+	// and the bench output stay comparable.
 	const sjOps = 1_000_000
 	r, err := hermes.New(hermes.WithBackend(hermes.Native),
 		hermes.WithWorkers(hotload.Workers), hermes.WithMode(hermes.Unified))
@@ -74,7 +75,11 @@ func runTrajectory(verbose bool) (trajectorySummary, error) {
 		return sum, err
 	}
 	spawnJob := func(ops int) (hermes.Report, error) {
-		return r.Run(context.Background(), hotload.SpawnJoinLoop(ops))
+		task, _, err := workload.Spec{Kind: "spawnjoin", N: ops}.Task()
+		if err != nil {
+			return hermes.Report{}, err
+		}
+		return r.Run(context.Background(), task)
 	}
 	if _, err := spawnJob(10_000); err != nil { // warm free lists
 		r.Close()
@@ -102,21 +107,22 @@ func runTrajectory(verbose bool) (trajectorySummary, error) {
 
 	// Native fib: the fine-grained stress whose task-boundary rate
 	// exposes anything left on the hot path. A few jobs back to back
-	// smooth out per-job setup noise.
+	// smooth out per-job setup noise. The registry's "fibtree" entry
+	// (defaults: hotload's N and cutoff) self-checks the result, so a
+	// wrong fib value surfaces as a job error.
 	const fibJobs = 8
-	want := hotload.SerialFib(hotload.FibN)
 	startFib := time.Now()
 	var fibTasks int64
 	for i := 0; i < fibJobs; i++ {
-		var out int
-		frep, err := r.Run(context.Background(), hotload.Fib(hotload.FibN, hotload.FibCutoff, &out))
+		task, _, err := workload.Spec{Kind: "fibtree"}.Task()
 		if err != nil {
 			r.Close()
 			return sum, err
 		}
-		if out != want {
+		frep, err := r.Run(context.Background(), task)
+		if err != nil {
 			r.Close()
-			return sum, fmt.Errorf("trajectory: fib(%d) = %d, want %d", hotload.FibN, out, want)
+			return sum, err
 		}
 		fibTasks += frep.Tasks
 	}
@@ -140,7 +146,7 @@ func runTrajectory(verbose bool) (trajectorySummary, error) {
 	sl, err := runLoad(loadOpts{
 		RPS:      150,
 		Duration: 2 * time.Second,
-		Spec:     synth.Spec{Kind: "ticks"},
+		Spec:     workload.Spec{Kind: "ticks"},
 		Seed:     7,
 		Backend:  "sim",
 		Mode:     "unified",

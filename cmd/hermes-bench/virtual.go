@@ -6,6 +6,7 @@ import (
 
 	"hermes"
 	"hermes/internal/sweep"
+	"hermes/internal/trace"
 )
 
 // runVirtualLoad replays a seeded Poisson arrival trace *in virtual
@@ -33,6 +34,7 @@ func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 	}
 	pcfg := sweep.PointConfig{
 		Workload: opts.Spec,
+		Trace:    opts.Trace,
 		Mode:     mode,
 		RPS:      opts.RPS,
 		Window:   opts.Duration,
@@ -50,6 +52,7 @@ func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 	sum := loadSummary{
 		Target:           "in-process/sim-virtual",
 		Workload:         opts.Spec,
+		Trace:            trace.Canonical(opts.Trace),
 		RPSTarget:        opts.RPS,
 		DurationS:        pt.MakespanS,
 		Submitted:        pt.Arrivals,

@@ -9,8 +9,8 @@ import (
 
 	"hermes"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 // capacitySeed fixes the Sim seed every /capacity replay runs with, so
@@ -26,7 +26,7 @@ const maxCapacityScale = 1000
 // from server start) and what it asked for.
 type traceEntry struct {
 	at   time.Duration
-	spec synth.Spec
+	spec workload.Spec
 }
 
 // traceRing captures the most recent accepted submissions in a bounded
@@ -49,7 +49,7 @@ func newTraceRing(capacity int, start time.Time) *traceRing {
 }
 
 // record captures one accepted submission.
-func (tr *traceRing) record(spec synth.Spec) {
+func (tr *traceRing) record(spec workload.Spec) {
 	at := time.Since(tr.start)
 	tr.mu.Lock()
 	tr.buf[tr.next] = traceEntry{at: at, spec: spec}

@@ -12,7 +12,7 @@ import (
 	"hermes"
 	"hermes/internal/control"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // tinyKneeModel builds a capacity model whose knee is absurdly low, so
@@ -20,7 +20,7 @@ import (
 func tinyKneeModel(t *testing.T, kneeRPS float64) *sweep.Model {
 	t.Helper()
 	res := sweep.Result{
-		Workload:   synth.Spec{Kind: "ticks", N: 64},
+		Workload:   workload.Spec{Kind: "ticks", N: 64},
 		RatesRPS:   []float64{1, 10, 100},
 		KneeFactor: 5,
 	}

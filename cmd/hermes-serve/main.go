@@ -6,11 +6,13 @@
 //
 // Endpoints:
 //
-//	POST /jobs      submit a synthetic workload; 202 + job id, 429 over max in-flight
+//	POST /jobs      submit a registered workload; 202 + job id, 429 over max in-flight
 //	GET  /jobs/{id} job status: running / done / failed, sojourn, report.
 //	                ?wait=<dur> long-polls until completion or the wait
 //	                elapses (capped at 30s); completed jobs evicted from
 //	                the retention window answer 410 status "pruned"
+//	GET  /workloads the catalog POST /jobs accepts: every registered kind
+//	                with its description, effective defaults and max n
 //	GET  /metrics   Prometheus text: steals, tempo switches, DVFS commits,
 //	                power/energy, per-workload submissions and job latency
 //	                histogram, dropped events

@@ -14,7 +14,7 @@ import (
 	"hermes"
 	"hermes/internal/metrics"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // selftestSeries are the /metrics series the CI smoke requires to be
@@ -50,7 +50,7 @@ func selftestModel(bootMode string) (string, error) {
 	rates := []float64{100, 1_000, 10_000}
 	knee := 10_000.0
 	res := sweep.Result{
-		Workload:   synth.Spec{Kind: "ticks", N: 128},
+		Workload:   workload.Spec{Kind: "ticks", N: 128},
 		RatesRPS:   rates,
 		KneeFactor: 5,
 	}
@@ -137,13 +137,41 @@ func runSelftest(mode string, workers int) error {
 		}
 	}
 
-	specs := []string{
-		`{"workload":"fib","n":18}`,
-		`{"workload":"matmul","n":48}`,
-		`{"workload":"ticks","n":128}`,
+	// The workload catalog drives the submissions: fetch GET
+	// /workloads, check it agrees with the registry, then submit one
+	// default-spec job per listed kind — serve's catalog can never
+	// drift from what POST /jobs accepts.
+	catBody, err := get(base + "/workloads")
+	if err != nil {
+		return fmt.Errorf("workloads: %w", err)
 	}
+	var cat struct {
+		Count     int `json:"count"`
+		Workloads []struct {
+			Name string `json:"name"`
+			Desc string `json:"desc"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal([]byte(catBody), &cat); err != nil {
+		return fmt.Errorf("workloads: %w", err)
+	}
+	want := workload.Names()
+	if cat.Count != len(want) || len(cat.Workloads) != len(want) {
+		return fmt.Errorf("workloads: catalog lists %d kinds, registry has %d", cat.Count, len(want))
+	}
+	for i, entry := range cat.Workloads {
+		if entry.Name != want[i] {
+			return fmt.Errorf("workloads: catalog[%d] = %q, registry has %q", i, entry.Name, want[i])
+		}
+		if entry.Desc == "" {
+			return fmt.Errorf("workloads: %q has no description", entry.Name)
+		}
+	}
+	fmt.Printf("selftest: /workloads catalog OK (%d kinds)\n", cat.Count)
+
 	var ids []int64
-	for _, spec := range specs {
+	for _, entry := range cat.Workloads {
+		spec := fmt.Sprintf(`{"workload":%q}`, entry.Name)
 		id, err := submit(base, spec)
 		if err != nil {
 			return fmt.Errorf("submit %s: %w", spec, err)

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,7 +15,7 @@ import (
 	"hermes"
 	"hermes/internal/control"
 	"hermes/internal/metrics"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // server exposes one hermes.Runtime as an HTTP job-submission
@@ -78,7 +77,7 @@ const maxStatusWait = 30 * time.Second
 
 // jobRecord tracks one submitted job from HTTP accept to completion.
 type jobRecord struct {
-	spec      synth.Spec
+	spec      workload.Spec
 	submitted time.Time
 	j         *hermes.Job
 
@@ -120,6 +119,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleIndex)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /capacity", s.handleCapacity)
@@ -142,7 +142,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec synth.Spec
+	var spec workload.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
@@ -220,12 +220,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // jobStatusJSON is the GET /jobs/{id} response body.
 type jobStatusJSON struct {
-	ID        int64      `json:"id"`
-	Status    string     `json:"status"` // running | done | failed | pruned | unknown
-	Workload  synth.Spec `json:"workload"`
-	SojournMS float64    `json:"sojourn_ms,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Report    *reportOut `json:"report,omitempty"`
+	ID        int64         `json:"id"`
+	Status    string        `json:"status"` // running | done | failed | pruned | unknown
+	Workload  workload.Spec `json:"workload"`
+	SojournMS float64       `json:"sojourn_ms,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Report    *reportOut    `json:"report,omitempty"`
 }
 
 // reportOut is the wire shape of a completed job's hermes.Report.
@@ -367,7 +367,7 @@ type jobIndexJSON struct {
 // plus completed ones inside the bounded retention window — sorted by
 // id ascending, scrape-friendly by construction: the response size is
 // bounded by max-inflight + the retention window regardless of uptime.
-// ?status=running|done|failed and ?workload=fib|matmul|ticks filter
+// ?status=running|done|failed and ?workload=<registered kind> filter
 // rows (they compose); ?limit=N keeps only the N highest-id (most
 // recent) matching rows.
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -379,10 +379,12 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	workloadFilter := r.URL.Query().Get("workload")
-	if workloadFilter != "" && !slices.Contains(synth.Kinds, workloadFilter) {
-		writeError(w, http.StatusBadRequest, "bad workload filter %q (want one of %s)",
-			workloadFilter, strings.Join(synth.Kinds, ", "))
-		return
+	if workloadFilter != "" {
+		if _, ok := workload.Lookup(workloadFilter); !ok {
+			writeError(w, http.StatusBadRequest, "bad workload filter %q (want one of %s)",
+				workloadFilter, strings.Join(workload.Names(), ", "))
+			return
+		}
 	}
 	limit := -1
 	if ls := r.URL.Query().Get("limit"); ls != "" {
@@ -468,6 +470,43 @@ func (s *server) pruneDone(id int64) {
 		s.doneOrder = s.doneOrder[1:]
 	}
 	s.mu.Unlock()
+}
+
+// workloadEntry is one row of the GET /workloads catalog.
+type workloadEntry struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+	// Defaults is the effective spec an empty {"workload": name}
+	// submission runs — the registry's defaults, validated.
+	Defaults workload.Spec `json:"defaults"`
+	// MaxN bounds the n parameter (0 = unbounded).
+	MaxN int `json:"max_n,omitempty"`
+}
+
+// workloadsJSON is the GET /workloads response body.
+type workloadsJSON struct {
+	Count     int             `json:"count"`
+	Workloads []workloadEntry `json:"workloads"`
+}
+
+// handleWorkloads serves the workload catalog: every registered kind
+// with its description, effective defaults and bounds — the registry
+// itself, so clients (and the selftest) can never disagree with what
+// POST /jobs accepts.
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	defs := workload.All()
+	out := workloadsJSON{Count: len(defs), Workloads: make([]workloadEntry, 0, len(defs))}
+	for _, d := range defs {
+		eff, err := workload.Spec{Kind: d.Name}.Validate()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "catalog default for %q invalid: %v", d.Name, err)
+			return
+		}
+		out.Workloads = append(out.Workloads, workloadEntry{
+			Name: d.Name, Desc: d.Desc, Defaults: eff, MaxN: d.MaxN,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -8,7 +8,7 @@ import (
 	"hermes"
 	"hermes/internal/metrics"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 func f64(v float64) *float64 { return &v }
@@ -28,7 +28,7 @@ func testModel(t *testing.T) *sweep.Model {
 		return c
 	}
 	m, err := sweep.ModelFromResult(sweep.Result{
-		Workload:   synth.Spec{Kind: "ticks"},
+		Workload:   workload.Spec{Kind: "ticks"},
 		RatesRPS:   rates,
 		KneeFactor: 5,
 		Curves: []sweep.Curve{
@@ -114,7 +114,7 @@ func TestDisabledForUnmodeledBootMode(t *testing.T) {
 
 func TestDisabledForUnresolvedKnee(t *testing.T) {
 	m, err := sweep.ModelFromResult(sweep.Result{
-		Workload:   synth.Spec{Kind: "ticks"},
+		Workload:   workload.Spec{Kind: "ticks"},
 		RatesRPS:   []float64{100},
 		KneeFactor: 5,
 		Curves: []sweep.Curve{{

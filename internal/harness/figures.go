@@ -9,8 +9,8 @@ import (
 	"hermes/internal/core"
 	"hermes/internal/cpu"
 	"hermes/internal/sweep"
-	"hermes/internal/synth"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 // figureFns maps paper figure numbers to their regenerators. Ids
@@ -36,10 +36,10 @@ var figureFns = map[int]func(*Session) Table{
 	21: func(s *Session) Table { return s.timeSeries(21, "ray", 16) },
 	22: func(s *Session) Table { return s.timeSeries(22, "ray", 8) },
 	23: func(s *Session) Table {
-		return s.openSystem(23, synth.Spec{Kind: "ticks", N: 64, Grain: 16, Work: 100_000})
+		return s.openSystem(23, workload.Spec{Kind: "ticks", N: 64, Grain: 16, Work: 100_000})
 	},
 	24: func(s *Session) Table {
-		return s.openSystem(24, synth.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000})
+		return s.openSystem(24, workload.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000})
 	},
 	25: func(s *Session) Table { return s.clusterPolicies(25) },
 	26: func(s *Session) Table { return s.clusterScaling(26) },
@@ -54,7 +54,7 @@ var openSystemRates = []float64{50, 100, 200, 400}
 // Sim pool (seeded Poisson arrivals replayed via SubmitTrace). The
 // arrival window scales with the session's Scale like benchmark input
 // sizes do, so quick sessions stay quick.
-func (s *Session) openSystem(fig int, spec synth.Spec) Table {
+func (s *Session) openSystem(fig int, spec workload.Spec) Table {
 	window := time.Duration(float64(2*time.Second) * s.opts.Scale)
 	if window < 50*time.Millisecond {
 		window = 50 * time.Millisecond
@@ -109,8 +109,8 @@ func (s *Session) openSystem(fig int, spec synth.Spec) Table {
 // clusterSpec is the workload the cluster figures run: service times
 // of a few milliseconds per job on a 2-worker machine, so offered
 // loads in the hundreds of rps genuinely contend for the fleet.
-func clusterSpec() synth.Spec {
-	return synth.Spec{Kind: "ticks", N: 128, Grain: 4, Work: 200_000}
+func clusterSpec() workload.Spec {
+	return workload.Spec{Kind: "ticks", N: 128, Grain: 4, Work: 200_000}
 }
 
 // clusterRates is the offered-load grid of the cluster figures.

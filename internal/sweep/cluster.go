@@ -7,8 +7,9 @@ import (
 	"time"
 
 	"hermes"
-	"hermes/internal/synth"
+	"hermes/internal/trace"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 // ClusterConfig describes a cluster sweep: a (placement policy ×
@@ -17,7 +18,10 @@ import (
 // every policy and fleet size, so curves differ only by placement —
 // the experiment the fleet-consolidation claim rests on.
 type ClusterConfig struct {
-	Workload   synth.Spec
+	Workload workload.Spec
+	// Trace names the arrival process from the internal/trace registry
+	// ("" = poisson).
+	Trace      string
 	Mode       hermes.Mode
 	Policies   []hermes.Placement
 	Machines   []int // fleet sizes; ascending preferred
@@ -114,7 +118,10 @@ func (c ClusterCurve) Knee() (float64, bool) {
 // ClusterResult is the cluster sweep artifact: one curve per (policy,
 // machine count), policy-major. Deterministic for a fixed config.
 type ClusterResult struct {
-	Workload   synth.Spec     `json:"workload"`
+	Workload workload.Spec `json:"workload"`
+	// Trace is the arrival process, normalized so the default poisson
+	// process stays "" (byte-stable poisson-era artifacts).
+	Trace      string         `json:"trace,omitempty"`
 	Mode       string         `json:"mode"`
 	Policies   []string       `json:"policies"`
 	Machines   []int          `json:"machines"`
@@ -143,7 +150,7 @@ type clusterTrialOut struct {
 // runClusterTrial replays one seeded trace through a fresh Cluster.
 func runClusterTrial(cfg ClusterConfig, policy hermes.Placement, machines int, rps float64, seed int64) (clusterTrialOut, error) {
 	var out clusterTrialOut
-	arrivals, err := Trace(cfg.Workload, rps, cfg.Window, seed)
+	arrivals, err := TraceArrivals(cfg.Workload, cfg.Trace, rps, cfg.Window, seed)
 	if err != nil {
 		return out, err
 	}
@@ -307,6 +314,9 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		return ClusterResult{}, err
 	}
 	cfg.Workload = spec
+	if _, err := trace.Resolve(cfg.Trace); err != nil {
+		return ClusterResult{}, err
+	}
 	if len(cfg.Policies) == 0 {
 		return ClusterResult{}, fmt.Errorf("sweep: no placement policies given")
 	}
@@ -344,6 +354,7 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	}
 	res := ClusterResult{
 		Workload:   cfg.Workload,
+		Trace:      trace.Canonical(cfg.Trace),
 		Mode:       cfg.Mode.String(),
 		Machines:   append([]int(nil), cfg.Machines...),
 		RatesRPS:   rates,

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"hermes"
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // TestClusterSweepDeterministicArtifact is the cluster acceptance pin:
@@ -68,7 +68,7 @@ func TestClusterSweepDeterministicArtifact(t *testing.T) {
 // behind busy machines while idle ones burn their floor draw.
 func TestClusterSweepPolicySeparation(t *testing.T) {
 	cfg := ClusterConfig{
-		Workload: synth.Spec{Kind: "ticks", N: 128, Grain: 4, Work: 200_000},
+		Workload: workload.Spec{Kind: "ticks", N: 128, Grain: 4, Work: 200_000},
 		Mode:     hermes.Unified,
 		Policies: []hermes.Placement{hermes.PlacementPowerOfChoices(2), hermes.PlacementRandom()},
 		Machines: []int{6},

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"os"
 
-	"hermes/internal/synth"
+	"hermes/internal/workload"
 )
 
 // Model is a sweep artifact (Result) loaded as a calibrated capacity
@@ -85,7 +85,7 @@ func ModelFromResult(res Result) (*Model, error) {
 func (m *Model) Result() Result { return m.res }
 
 // Workload returns the workload spec the model was calibrated with.
-func (m *Model) Workload() synth.Spec { return m.res.Workload }
+func (m *Model) Workload() workload.Spec { return m.res.Workload }
 
 // KneeFactor returns the knee threshold multiple the artifact was
 // computed with (p99 > KneeFactor × unloaded p50 defines the knee).

@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"hermes"
-	"hermes/internal/synth"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 func f64(v float64) *float64 { return &v }
@@ -28,7 +28,7 @@ func modelResult() Result {
 		return c
 	}
 	return Result{
-		Workload:   synth.Spec{Kind: "ticks"},
+		Workload:   workload.Spec{Kind: "ticks"},
 		RatesRPS:   rates,
 		KneeFactor: 5,
 		Curves: []Curve{
@@ -160,7 +160,7 @@ func TestDetectKneeNullSemantics(t *testing.T) {
 
 func TestSingleRateSweepEmitsNullKnee(t *testing.T) {
 	res, err := Run(Config{
-		Workload: synth.Spec{Kind: "ticks", N: 8, Grain: 4, Work: 50_000},
+		Workload: workload.Spec{Kind: "ticks", N: 8, Grain: 4, Work: 50_000},
 		Modes:    []hermes.Mode{hermes.Baseline},
 		RatesRPS: []float64{100},
 		Window:   50 * time.Millisecond,
@@ -191,7 +191,7 @@ func TestSingleRateSweepEmitsNullKnee(t *testing.T) {
 }
 
 func TestReplayTraceDeterministic(t *testing.T) {
-	spec := synth.Spec{Kind: "ticks", N: 16, Grain: 4, Work: 100_000}
+	spec := workload.Spec{Kind: "ticks", N: 16, Grain: 4, Work: 100_000}
 	mkTrace := func() []hermes.Arrival {
 		var arrivals []hermes.Arrival
 		for i := 0; i < 40; i++ {

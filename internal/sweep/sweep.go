@@ -2,55 +2,42 @@ package sweep
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"strings"
 	"time"
 
 	"hermes"
-	"hermes/internal/synth"
+	"hermes/internal/trace"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
-
-// traceSalt is the PCG stream constant shared with the wall-clock load
-// generator, so a one-point sweep and `-load -backend sim` replay the
-// same seeded Poisson trace.
-const traceSalt = 0x9e3779b97f4a7c15
 
 // DefaultKneeFactor is the knee threshold when Config leaves it unset:
 // the curve has "kneed" once p99 sojourn exceeds 5× the unloaded p50.
 const DefaultKneeFactor = 5.0
 
-// Trace generates the seeded Poisson arrival trace for one point:
-// exponential interarrivals at rate rps over the window, each arrival
-// running the workload spec's task. The trace depends only on (spec,
-// rps, window, seed).
-func Trace(spec synth.Spec, rps float64, window time.Duration, seed int64) ([]hermes.Arrival, error) {
-	if rps <= 0 {
-		return nil, fmt.Errorf("sweep: rps must be positive, got %g", rps)
+// Trace generates the seeded Poisson arrival trace for one point —
+// the historical entry point, now a thin wrapper over the
+// internal/trace registry's default process. The trace depends only
+// on (spec, rps, window, seed).
+func Trace(spec workload.Spec, rps float64, window time.Duration, seed int64) ([]hermes.Arrival, error) {
+	return TraceArrivals(spec, "", rps, window, seed)
+}
+
+// TraceArrivals generates one grid point's arrival trace through the
+// named process from the internal/trace registry ("" = poisson): the
+// process draws seeded arrival times and per-arrival sizes, and every
+// arrival runs the workload spec's task at its drawn size.
+func TraceArrivals(spec workload.Spec, proc string, rps float64, window time.Duration, seed int64) ([]hermes.Arrival, error) {
+	p, err := trace.Resolve(proc)
+	if err != nil {
+		return nil, err
 	}
-	if window <= 0 {
-		return nil, fmt.Errorf("sweep: window must be positive, got %v", window)
+	spec, err = spec.Validate()
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(uint64(seed), traceSalt))
-	horizon := units.Time(window.Nanoseconds()) * units.Nanosecond
-	var arrivals []hermes.Arrival
-	at := units.Time(0)
-	for {
-		at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
-		if at > horizon {
-			break
-		}
-		task, _, err := spec.Task()
-		if err != nil {
-			return nil, err
-		}
-		arrivals = append(arrivals, hermes.Arrival{At: at, Task: task})
-	}
-	if len(arrivals) == 0 {
-		return nil, fmt.Errorf("sweep: no arrivals in a %v window at %g rps; raise the rate or the window", window, rps)
-	}
-	return arrivals, nil
+	return p.Arrivals(spec.SizedTask, seed, rps, window)
 }
 
 // Span is one job's residence interval in the system, from virtual
@@ -184,13 +171,16 @@ type Point struct {
 
 // PointConfig parameterizes one grid point for RunPoint.
 type PointConfig struct {
-	Workload synth.Spec
-	Mode     hermes.Mode
-	RPS      float64
-	Window   time.Duration
-	Seed     int64
-	Trials   int // <1 means 1; trial t shifts the seed by t
-	Workers  int // 0 = backend default
+	Workload workload.Spec
+	// Trace names the arrival process from the internal/trace registry
+	// ("" = poisson).
+	Trace   string
+	Mode    hermes.Mode
+	RPS     float64
+	Window  time.Duration
+	Seed    int64
+	Trials  int // <1 means 1; trial t shifts the seed by t
+	Workers int // 0 = backend default
 	// Log, when non-nil, receives a diagnostic line per failed job.
 	Log func(string)
 }
@@ -213,7 +203,7 @@ type trialOut struct {
 // collects raw per-job and machine-level measurements.
 func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 	var out trialOut
-	arrivals, err := Trace(cfg.Workload, cfg.RPS, cfg.Window, seed)
+	arrivals, err := TraceArrivals(cfg.Workload, cfg.Trace, cfg.RPS, cfg.Window, seed)
 	if err != nil {
 		return out, err
 	}
@@ -381,7 +371,10 @@ func pctMS(sorted []units.Time, p float64) float64 {
 
 // Config describes a whole sweep: the grid plus shared run shape.
 type Config struct {
-	Workload   synth.Spec
+	Workload workload.Spec
+	// Trace names the arrival process from the internal/trace registry
+	// ("" = poisson).
+	Trace      string
 	Modes      []hermes.Mode
 	RatesRPS   []float64 // ascending; Run sorts a copy if not
 	Window     time.Duration
@@ -422,14 +415,18 @@ func (c Curve) Knee() (float64, bool) {
 // Result is the sweep artifact: one curve per tempo mode over the
 // shared rate grid. It marshals deterministically for a fixed config.
 type Result struct {
-	Workload   synth.Spec `json:"workload"`
-	RatesRPS   []float64  `json:"rates_rps"`
-	WindowS    float64    `json:"window_s"`
-	Seed       int64      `json:"seed"`
-	Trials     int        `json:"trials"`
-	Workers    int        `json:"workers"`
-	KneeFactor float64    `json:"knee_factor"`
-	Curves     []Curve    `json:"curves"`
+	Workload workload.Spec `json:"workload"`
+	// Trace is the arrival process the grid ran under, normalized so
+	// the default poisson process stays "" — poisson-era artifacts
+	// keep their byte-exact shape.
+	Trace      string    `json:"trace,omitempty"`
+	RatesRPS   []float64 `json:"rates_rps"`
+	WindowS    float64   `json:"window_s"`
+	Seed       int64     `json:"seed"`
+	Trials     int       `json:"trials"`
+	Workers    int       `json:"workers"`
+	KneeFactor float64   `json:"knee_factor"`
+	Curves     []Curve   `json:"curves"`
 }
 
 // Run executes the whole grid and assembles the artifact.
@@ -439,6 +436,9 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cfg.Workload = spec
+	if _, err := trace.Resolve(cfg.Trace); err != nil {
+		return Result{}, err
+	}
 	if len(cfg.Modes) == 0 {
 		return Result{}, fmt.Errorf("sweep: no tempo modes given")
 	}
@@ -468,6 +468,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	res := Result{
 		Workload:   cfg.Workload,
+		Trace:      trace.Canonical(cfg.Trace),
 		RatesRPS:   rates,
 		WindowS:    cfg.Window.Seconds(),
 		Seed:       cfg.Seed,
@@ -481,6 +482,7 @@ func Run(cfg Config) (Result, error) {
 		for _, rate := range rates {
 			pt, err := RunPoint(PointConfig{
 				Workload: cfg.Workload,
+				Trace:    cfg.Trace,
 				Mode:     mode,
 				RPS:      rate,
 				Window:   cfg.Window,

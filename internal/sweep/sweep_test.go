@@ -6,14 +6,14 @@ import (
 	"time"
 
 	"hermes"
-	"hermes/internal/synth"
 	"hermes/internal/units"
+	"hermes/internal/workload"
 )
 
 // tinySpec is a workload small enough that a grid point completes in
 // milliseconds of wall time while still forking parallel tasks.
-func tinySpec() synth.Spec {
-	return synth.Spec{Kind: "ticks", N: 16, Grain: 4, Work: 50_000}
+func tinySpec() workload.Spec {
+	return workload.Spec{Kind: "ticks", N: 16, Grain: 4, Work: 50_000}
 }
 
 func TestTraceSeededAndBounded(t *testing.T) {
@@ -128,7 +128,7 @@ func TestSweepDeterministicArtifact(t *testing.T) {
 // Baseline never does — the curves are genuinely mode-separated.
 func TestSweepModeSeparation(t *testing.T) {
 	cfg := Config{
-		Workload: synth.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000},
+		Workload: workload.Spec{Kind: "fib", N: 14, Grain: 6, Work: 30_000},
 		Modes:    []hermes.Mode{hermes.Baseline, hermes.Unified},
 		RatesRPS: []float64{400},
 		Window:   50 * time.Millisecond,
@@ -223,7 +223,7 @@ func TestPeakInflightTieAndNesting(t *testing.T) {
 // independent brute-force reconstruction from the per-job reports.
 func TestPeakInflightCountsQueuedJobs(t *testing.T) {
 	cfg := PointConfig{
-		Workload: synth.Spec{Kind: "ticks", N: 64, Grain: 8, Work: 100_000},
+		Workload: workload.Spec{Kind: "ticks", N: 64, Grain: 8, Work: 100_000},
 		Mode:     hermes.Unified,
 		RPS:      2000,
 		Window:   50 * time.Millisecond,

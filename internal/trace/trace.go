@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"hermes"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// Salt is the PCG stream constant every seeded arrival process draws
+// from. It is THE single copy: the sweep and the wall-clock load
+// generator both generate their schedules through this package, so a
+// one-point sweep and `-load` replay the same seeded trace by
+// construction, not by keeping two constants in sync.
+const Salt = 0x9e3779b97f4a7c15
+
+// Default is the process name an empty -trace flag (or config field)
+// resolves to. Artifacts normalize it to "" (see Canonical) so the
+// poisson-era JSON shape is preserved byte-for-byte.
+const Default = "poisson"
+
+// Point is one generated arrival: its offset from the window start
+// and a service-size multiplier (1 = the workload's nominal size).
+type Point struct {
+	At   units.Time
+	Size float64
+}
+
+// Proc is one registered arrival process.
+type Proc struct {
+	// Name is the registry key (-trace flag value).
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Gen draws the point sequence at mean rate rps over (0, horizon]
+	// from rng. It must consume rng deterministically — the sequence
+	// is a function of (seed, rps, horizon) alone — and return points
+	// in ascending order.
+	Gen func(rng *rand.Rand, rps float64, horizon units.Time) []Point
+}
+
+var (
+	regMu sync.RWMutex
+	procs = map[string]Proc{}
+	order []string
+)
+
+// Register adds an arrival process to the registry, panicking on a
+// duplicate or malformed Proc (registration happens in package init).
+func Register(p Proc) {
+	if p.Name == "" || p.Gen == nil {
+		panic(fmt.Sprintf("trace: Register of malformed process %+v", p))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := procs[p.Name]; dup {
+		panic(fmt.Sprintf("trace: Register called twice for %q", p.Name))
+	}
+	procs[p.Name] = p
+	order = append(order, p.Name)
+}
+
+// Lookup finds a registered process by name.
+func Lookup(name string) (Proc, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := procs[name]
+	return p, ok
+}
+
+// Names lists the registered process names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// Resolve maps a user-supplied process name ("" = Default) to its
+// registered Proc, rejecting unknown names with the registered list.
+func Resolve(name string) (Proc, error) {
+	if name == "" {
+		name = Default
+	}
+	p, ok := Lookup(name)
+	if !ok {
+		return Proc{}, fmt.Errorf("trace: unknown arrival process %q (registered: %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Canonical returns the artifact form of a process name: the default
+// process collapses to "" so poisson-era artifacts keep their
+// byte-exact shape; any other name passes through.
+func Canonical(name string) string {
+	if name == Default {
+		return ""
+	}
+	return name
+}
+
+// Points validates the rate and window and generates the process's
+// deterministic point sequence for one seed.
+func (p Proc) Points(seed int64, rps float64, window time.Duration) ([]Point, error) {
+	if p.Gen == nil {
+		return nil, fmt.Errorf("trace: process %q has no generator", p.Name)
+	}
+	if rps <= 0 {
+		return nil, fmt.Errorf("trace: rps must be positive, got %g", rps)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window must be positive, got %v", window)
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), Salt))
+	horizon := units.Time(window.Nanoseconds()) * units.Nanosecond
+	pts := p.Gen(rng, rps, horizon)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("trace: no arrivals in a %v window at %g rps; raise the rate or the window", window, rps)
+	}
+	return pts, nil
+}
+
+// Arrivals generates the point sequence and compiles it into a
+// runnable virtual-time trace, one task per arrival at the drawn
+// size. build is typically a workload Spec's SizedTask method.
+func (p Proc) Arrivals(build func(size float64) (wl.Task, error), seed int64, rps float64, window time.Duration) ([]hermes.Arrival, error) {
+	pts, err := p.Points(seed, rps, window)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := make([]hermes.Arrival, len(pts))
+	for i, pt := range pts {
+		task, err := build(pt.Size)
+		if err != nil {
+			return nil, err
+		}
+		arrivals[i] = hermes.Arrival{At: pt.At, Task: task}
+	}
+	return arrivals, nil
+}
+
+// MMPP shape: the high state bursts at 3× the target rate, the low
+// state idles at ⅓ of it, and dwell times are chosen so the process
+// spends ¼ of its time high — the stationary mean rate is exactly the
+// target rps, a burst carries ~15 arrivals and a lull ~5 at any rate.
+const (
+	mmppHighRate  = 3.0
+	mmppLowRate   = 1.0 / 3.0
+	mmppHighDwell = 5.0  // mean high dwell × rps, seconds
+	mmppLowDwell  = 15.0 // mean low dwell × rps, seconds
+)
+
+// Bounded-Pareto size distribution: α = 1.5 with x_m = ⅓ gives mean
+// α·x_m/(α−1) = 1, so the offered work matches the poisson process on
+// average while individual requests range up to the 100× cap.
+const (
+	paretoAlpha   = 1.5
+	paretoXm      = 1.0 / 3.0
+	paretoMaxSize = 100.0
+)
+
+func init() {
+	Register(Proc{
+		Name: "poisson",
+		Desc: "memoryless arrivals: exponential interarrivals at the target rate, unit size",
+		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+			// Stream-compatible with the pre-registry sweep generator:
+			// one ExpFloat64 per arrival, loop leaves on the first draw
+			// past the horizon.
+			var pts []Point
+			at := units.Time(0)
+			for {
+				at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
+				if at > horizon {
+					break
+				}
+				pts = append(pts, Point{At: at, Size: 1})
+			}
+			return pts
+		},
+	})
+	Register(Proc{
+		Name: "mmpp",
+		Desc: "bursty two-state modulated Poisson: 3× bursts and ⅓× lulls, mean rate = target",
+		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+			sec := float64(units.Second)
+			var pts []Point
+			at := units.Time(0)
+			high := false
+			dwellEnd := units.Time(rng.ExpFloat64() * mmppLowDwell / rps * sec)
+			for {
+				rate := mmppLowRate * rps
+				if high {
+					rate = mmppHighRate * rps
+				}
+				next := at + units.Time(rng.ExpFloat64()/rate*sec)
+				if next > dwellEnd {
+					// The state flips before this arrival lands; the
+					// exponential is memoryless, so discarding the draw
+					// and restarting from the switch point is exact.
+					if dwellEnd > horizon {
+						break
+					}
+					at = dwellEnd
+					high = !high
+					dwell := mmppLowDwell
+					if high {
+						dwell = mmppHighDwell
+					}
+					dwellEnd = at + units.Time(rng.ExpFloat64()*dwell/rps*sec)
+					continue
+				}
+				at = next
+				if at > horizon {
+					break
+				}
+				pts = append(pts, Point{At: at, Size: 1})
+			}
+			return pts
+		},
+	})
+	Register(Proc{
+		Name: "pareto",
+		Desc: "Poisson arrivals with heavy-tailed sizes: bounded Pareto (α=1.5, mean 1) scales each request's work",
+		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+			var pts []Point
+			at := units.Time(0)
+			for {
+				at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
+				if at > horizon {
+					break
+				}
+				// Inverse-CDF draw; 1−U ∈ (0,1] keeps the pow argument
+				// away from 0, the cap bounds the tail.
+				size := paretoXm / math.Pow(1-rng.Float64(), 1/paretoAlpha)
+				if size > paretoMaxSize {
+					size = paretoMaxSize
+				}
+				pts = append(pts, Point{At: at, Size: size})
+			}
+			return pts
+		},
+	})
+}

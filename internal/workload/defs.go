@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+
+	"hermes/internal/bench"
+	"hermes/internal/hotload"
+	"hermes/internal/units"
+	"hermes/internal/wl"
+)
+
+// The built-in catalog, in presentation order: the synthetic request
+// workloads first (ported from the old internal/synth), then the
+// trajectory fixpoints (bodies from internal/hotload), then the
+// paper's figure benchmarks (internal/bench).
+func init() {
+	Register(Def{
+		Name:     "fib",
+		Desc:     "binary fib recursion with serial cutoff; every node accounts work cycles",
+		Defaults: Spec{N: 18, Grain: 10, Work: 20_000},
+		MaxN:     32,
+		Build: func(s Spec) (wl.Task, error) {
+			return func(c wl.Ctx) { fib(c, s.N, s.Grain, s.Work, s.MemFrac) }, nil
+		},
+	})
+	Register(Def{
+		Name:     "matmul",
+		Desc:     "dense N×N multiply parallelized over rows; each element accounts work cycles",
+		Defaults: Spec{N: 64, Grain: 8, Work: 1_500, MemFrac: 0.3},
+		MaxN:     2048,
+		Build:    func(s Spec) (wl.Task, error) { return s.matmul(), nil },
+	})
+	Register(Def{
+		Name:     "ticks",
+		Desc:     "flat loop of N independent units of work cycles each — a batch of homogeneous requests",
+		Defaults: Spec{N: 256, Grain: 16, Work: 100_000},
+		MaxN:     1 << 20,
+		Build:    func(s Spec) (wl.Task, error) { return s.ticks(), nil },
+	})
+	Register(Def{
+		Name:     "spawnjoin",
+		Desc:     "trajectory fixpoint: N two-way fork-join blocks with no-op bodies (pure scheduler hot path)",
+		Defaults: Spec{N: 4096},
+		MaxN:     1 << 20,
+		Build:    func(s Spec) (wl.Task, error) { return hotload.SpawnJoinLoop(s.N), nil },
+	})
+	Register(Def{
+		Name:     "fibtree",
+		Desc:     "trajectory fixpoint: real fib(n) spawn tree with serial cutoff grain, checked against the sequential reference",
+		Defaults: Spec{N: hotload.FibN, Grain: hotload.FibCutoff},
+		MaxN:     32,
+		Build: func(s Spec) (wl.Task, error) {
+			want := hotload.SerialFib(s.N)
+			out := new(int)
+			inner := hotload.Fib(s.N, s.Grain, out)
+			return func(c wl.Ctx) {
+				inner(c)
+				if *out != want {
+					panic(fmt.Sprintf("workload: fibtree(%d) = %d, want %d", s.N, *out, want))
+				}
+			}, nil
+		},
+	})
+	// The figure benchmarks run real computation on a deterministic
+	// seeded instance and verify their output inside the task, so a
+	// wrong answer fails the job instead of returning silently. The
+	// defaults are service-sized (well under the figure-scale inputs
+	// the harness uses); MaxN caps requests at figure scale.
+	for _, b := range bench.All() {
+		Register(Def{
+			Name:     b.Name,
+			Desc:     b.Desc,
+			Defaults: Spec{N: benchDefaultN[b.Name], Seed: 42},
+			MaxN:     b.DefaultN,
+			Build:    benchBuild(b),
+		})
+	}
+}
+
+// benchDefaultN holds the service-sized default input per figure
+// benchmark — small enough that one request completes in milliseconds
+// on either backend.
+var benchDefaultN = map[string]int{
+	"knn":     4_000,
+	"ray":     4_000,
+	"sort":    100_000,
+	"compare": 50_000,
+	"hull":    50_000,
+}
+
+// benchBuild wraps one figure benchmark as a self-verifying task.
+func benchBuild(b *bench.Bench) func(Spec) (wl.Task, error) {
+	return func(s Spec) (wl.Task, error) {
+		w := b.Build(s.N, s.Seed)
+		return func(c wl.Ctx) {
+			w.Root(c)
+			if w.Check != nil {
+				if err := w.Check(); err != nil {
+					panic(fmt.Sprintf("workload: %s(n=%d seed=%d) check failed: %v", b.Name, s.N, s.Seed, err))
+				}
+			}
+		}, nil
+	}
+}
+
+// fib spawns the canonical binary recursion; every node accounts work
+// cycles, and subtrees of height <= cutoff run serially on the owning
+// worker (the usual Cilk granularity control).
+func fib(c wl.Ctx, n, cutoff int, work units.Cycles, memFrac float64) {
+	c.WorkMix(work, memFrac)
+	if n < 2 {
+		return
+	}
+	if n <= cutoff {
+		fibSerial(c, n-1, work, memFrac)
+		fibSerial(c, n-2, work, memFrac)
+		return
+	}
+	c.Go(
+		func(c wl.Ctx) { fib(c, n-1, cutoff, work, memFrac) },
+		func(c wl.Ctx) { fib(c, n-2, cutoff, work, memFrac) },
+	)
+}
+
+func fibSerial(c wl.Ctx, n int, work units.Cycles, memFrac float64) {
+	c.WorkMix(work, memFrac)
+	if n < 2 {
+		return
+	}
+	fibSerial(c, n-1, work, memFrac)
+	fibSerial(c, n-2, work, memFrac)
+}
+
+// matmul models a dense N×N multiply parallelized over rows: each row
+// accounts N·work cycles with the spec's memory fraction (dense
+// kernels stall on loads, so the default mixes in 30%).
+func (s Spec) matmul() wl.Task {
+	n, work, memFrac := s.N, s.Work, s.MemFrac
+	return func(c wl.Ctx) {
+		wl.For(c, 0, n, s.Grain, func(c wl.Ctx, lo, hi int) {
+			for range hi - lo {
+				c.WorkMix(units.Cycles(n)*work, memFrac)
+			}
+		})
+	}
+}
+
+// ticks is a flat loop of N independent units of work cycles each —
+// the shape of a batch of homogeneous service requests.
+func (s Spec) ticks() wl.Task {
+	n, work, memFrac := s.N, s.Work, s.MemFrac
+	return func(c wl.Ctx) {
+		wl.For(c, 0, n, s.Grain, func(c wl.Ctx, lo, hi int) {
+			for range hi - lo {
+				c.WorkMix(work, memFrac)
+			}
+		})
+	}
+}
