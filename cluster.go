@@ -138,6 +138,9 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		GossipInterval:  interval,
 		GossipStaleness: staleness,
 		GossipBatch:     batch,
+		Faults:          s.faults,
+		RetryBudget:     s.retryBudget,
+		RetryBackoff:    s.retryBackoff,
 	}
 	inner, err := core.NewCluster(ccfg)
 	if err != nil {

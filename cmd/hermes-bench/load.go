@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,7 +58,15 @@ type loadSummary struct {
 	DurationS float64 `json:"duration_s"`
 	Submitted int64   `json:"submitted"`
 	Completed int64   `json:"completed"`
-	Rejected  int64   `json:"rejected"`
+	// Rejected counts requests that ultimately failed admission: every
+	// 429 retry was consumed without an accepted submission. Retries
+	// counts individual re-submissions after a 429 (several may serve
+	// one eventually-accepted request); GaveUp counts requests whose
+	// retry budget ran dry — always equal to Rejected on an HTTP
+	// target, kept separate so the accounting is explicit.
+	Rejected int64 `json:"rejected"`
+	Retries  int64 `json:"retries,omitempty"`
+	GaveUp   int64 `json:"gave_up,omitempty"`
 	// Pruned counts jobs that completed but whose status record was
 	// evicted from the server's retention window before the client
 	// observed it: done, but with no sojourn sample. Included in
@@ -74,11 +85,11 @@ type loadSummary struct {
 
 func (s loadSummary) String() string {
 	return fmt.Sprintf(
-		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d (pruned %d) rejected=%d errors=%d\n"+
+		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d (pruned %d) rejected=%d retries=%d errors=%d\n"+
 			"  throughput=%.1f req/s sojourn p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n"+
 			"  peak-inflight=%d joules/req=%.4f dropped-events=%d",
 		s.Target, s.Workload, s.RPSTarget, s.DurationS, s.Submitted, s.Completed, s.Pruned,
-		s.Rejected, s.Errors,
+		s.Rejected, s.Retries, s.Errors,
 		s.ThroughputRPS, s.P50SojournMS, s.P95SojournMS, s.P99SojournMS, s.MaxSojournMS,
 		s.PeakInflight, s.JoulesPerRequest, s.DroppedEvents)
 }
@@ -102,6 +113,9 @@ type target interface {
 	do(spec workload.Spec) (outcome, error)
 	// finish returns (joules attributed to completed requests, dropped events).
 	finish() (float64, uint64, error)
+	// stats returns (429 retry attempts, requests whose retry budget
+	// ran dry). Zero for targets that never retry (in-process).
+	stats() (retries, gaveUp int64)
 	name() string
 }
 
@@ -147,7 +161,11 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 
 	var tgt target
 	if opts.URL != "" {
-		tgt = &httpTarget{base: opts.URL, client: &http.Client{Timeout: 60 * time.Second}}
+		tgt = &httpTarget{
+			base:   opts.URL,
+			client: &http.Client{Timeout: 60 * time.Second},
+			rng:    rand.New(rand.NewSource(opts.Seed)),
+		}
 	} else {
 		t, err := newInprocTarget(opts)
 		if err != nil {
@@ -206,6 +224,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	if err != nil {
 		return loadSummary{}, err
 	}
+	retries, gaveUp := tgt.stats()
 
 	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
 	// Pruned jobs completed too — the server just evicted the record
@@ -221,6 +240,8 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		Submitted:     submitted.Load(),
 		Completed:     completed,
 		Rejected:      rejected.Load(),
+		Retries:       retries,
+		GaveUp:        gaveUp,
 		Pruned:        pruned.Load(),
 		Errors:        errs.Load(),
 		ThroughputRPS: float64(completed) / elapsed.Seconds(),
@@ -328,6 +349,10 @@ func (t *inprocTarget) finish() (float64, uint64, error) {
 	return j, t.rt.EventsDropped(), err
 }
 
+// stats: the in-process target has no admission tier, so nothing
+// retries and nothing gives up.
+func (t *inprocTarget) stats() (int64, int64) { return 0, 0 }
+
 // --- HTTP target ------------------------------------------------------
 
 // httpTarget drives a remote hermes-serve: POST the job, poll its
@@ -338,7 +363,46 @@ type httpTarget struct {
 	client  *http.Client
 	baseJ   float64
 	baseSet bool
-	mu      sync.Mutex
+	// rng jitters the 429-retry backoff; guarded by mu (request
+	// goroutines share it).
+	rng *rand.Rand
+	mu  sync.Mutex
+
+	retries atomic.Int64 // re-submissions after a 429
+	gaveUp  atomic.Int64 // requests whose retry budget ran dry
+}
+
+// 429-retry policy: an overloaded server sheds load transiently, so a
+// rejected submission re-tries a few times with capped, seeded,
+// jittered exponential backoff before the request counts as rejected.
+const (
+	submitAttempts   = 5
+	retryBackoffBase = 50 * time.Millisecond
+	retryBackoffCap  = 2 * time.Second
+)
+
+// retryDelay draws the pre-retry sleep for a zero-based attempt
+// number: base·2^attempt, jittered by ×[0.5,1.5) to de-synchronize
+// concurrent retriers, with the server's Retry-After (whole seconds)
+// honored as a floor. Both are capped at retryBackoffCap.
+func (t *httpTarget) retryDelay(attempt int, retryAfter string) time.Duration {
+	d := retryBackoffBase << attempt
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	t.mu.Lock()
+	jitter := 0.5 + t.rng.Float64()
+	t.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return d
 }
 
 func (t *httpTarget) name() string { return t.base }
@@ -387,25 +451,34 @@ func (t *httpTarget) do(spec workload.Spec) (outcome, error) {
 	if err != nil {
 		return outcomeOK, err
 	}
-	resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return outcomeOK, err
+	for attempt := 0; ; attempt++ {
+		resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return outcomeOK, err
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if attempt == submitAttempts-1 {
+				t.gaveUp.Add(1)
+				return outcomeRejected, nil
+			}
+			t.retries.Add(1)
+			time.Sleep(t.retryDelay(attempt, retryAfter))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return outcomeOK, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+		}
+		var acc struct {
+			ID int64 `json:"id"`
+		}
+		if err := json.Unmarshal(rb, &acc); err != nil {
+			return outcomeOK, err
+		}
+		return t.poll(acc.ID)
 	}
-	rb, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return outcomeRejected, nil
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return outcomeOK, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
-	}
-	var acc struct {
-		ID int64 `json:"id"`
-	}
-	if err := json.Unmarshal(rb, &acc); err != nil {
-		return outcomeOK, err
-	}
-	return t.poll(acc.ID)
 }
 
 // poll watches one job to completion, preferring the server's
@@ -458,6 +531,8 @@ func (t *httpTarget) poll(id int64) (outcome, error) {
 	}
 	return outcomeOK, fmt.Errorf("job %d: poll timeout", id)
 }
+
+func (t *httpTarget) stats() (int64, int64) { return t.retries.Load(), t.gaveUp.Load() }
 
 func (t *httpTarget) finish() (float64, uint64, error) {
 	j, dropped, err := t.jobEnergyTotal()

@@ -54,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"hermes/internal/fault"
 	"hermes/internal/harness"
 	"hermes/internal/sweep"
 	"hermes/internal/trace"
@@ -77,6 +78,8 @@ func main() {
 		modes      = flag.String("modes", "baseline,unified", "sweep: comma-separated tempo modes")
 		machines   = flag.String("machines", "", "sweep: comma-separated fleet sizes; non-empty selects the cluster sweep (one -modes entry)")
 		placement  = flag.String("placement", "p2c", "cluster sweep: comma-separated placement policies (random, jsq, p2c/p<k>c, gossip)")
+		faults     = flag.String("faults", "",
+			"cluster sweep: comma-separated fault plans ("+strings.Join(fault.Names(), ", ")+"; empty = fault-free)")
 		kneeFactor = flag.Float64("kneefactor", sweep.DefaultKneeFactor, "sweep: knee threshold as a multiple of the unloaded p50 sojourn")
 		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
 		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
@@ -127,6 +130,7 @@ func main() {
 			Modes:      *modes,
 			Machines:   *machines,
 			Placement:  *placement,
+			Faults:     *faults,
 			Window:     *duration,
 			Seed:       *seed,
 			Trials:     *trials,

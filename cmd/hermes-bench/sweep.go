@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/fault"
 	"hermes/internal/sweep"
 	"hermes/internal/workload"
 )
@@ -22,6 +23,7 @@ type sweepOpts struct {
 	Modes      string // comma-separated tempo modes
 	Machines   string // comma-separated fleet sizes; "" = single-machine sweep
 	Placement  string // comma-separated placement policies (cluster sweep)
+	Faults     string // comma-separated fault plans (cluster sweep; "" = fault-free)
 	Window     time.Duration
 	Seed       int64
 	Trials     int
@@ -117,6 +119,26 @@ func parsePlacements(list string) ([]hermes.Placement, error) {
 	return policies, nil
 }
 
+// parseFaultPlans parses and validates the -faults list against the
+// fault registry, each plan once (after Resolve: "" and "none" are the
+// same plan). An empty flag means one fault-free pass.
+func parseFaultPlans(list string) ([]string, error) {
+	var plans []string
+	seen := map[string]bool{}
+	for _, s := range splitCommaList(list) {
+		p, err := fault.Resolve(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %v", err)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("sweep: duplicate fault plan %q", s)
+		}
+		seen[p.Name] = true
+		plans = append(plans, p.Name)
+	}
+	return plans, nil
+}
+
 // runSweep drives the open-system sweep from the CLI and writes the
 // JSON (and optionally CSV) artifacts. A non-empty -machines grid
 // selects the cluster sweep (placement policy × fleet size × rate)
@@ -185,9 +207,14 @@ func runClusterSweep(opts sweepOpts, rates []float64, modes []hermes.Mode) error
 	if err != nil {
 		return err
 	}
+	plans, err := parseFaultPlans(opts.Faults)
+	if err != nil {
+		return err
+	}
 	cfg := sweep.ClusterConfig{
 		Workload:   opts.Spec,
 		Trace:      opts.Trace,
+		Faults:     plans,
 		Mode:       modes[0],
 		Policies:   policies,
 		Machines:   machines,

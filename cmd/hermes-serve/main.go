@@ -67,6 +67,7 @@ func main() {
 		buffer      = flag.Int("buffer", 1<<16, "async observer event buffer size")
 		maxInflight = flag.Int("max-inflight", 1024, "max concurrently in-flight jobs before 429")
 		jobTimeout  = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout (0 = none)")
+		shutGrace   = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on shutdown")
 		ctlEnable   = flag.Bool("control", false, "enable the knee-aware admission controller (needs -sweep-model)")
 		sweepModel  = flag.String("sweep-model", "", "sweep JSON artifact to load as the capacity model")
 		ctlInterval = flag.Duration("control-interval", time.Second, "control loop tick period")
@@ -127,14 +128,17 @@ func main() {
 		log.Printf("hermes-serve: server error: %v", err)
 	}
 
-	// Shutdown order: stop accepting HTTP, let in-flight jobs finish
-	// via Runtime.Close (which then drains the async observer), report
-	// any telemetry loss.
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Shutdown order: stop accepting HTTP, drain in-flight requests
+	// within -shutdown-grace, let in-flight jobs finish via
+	// Runtime.Close (which then drains the async observer), report any
+	// telemetry loss.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutGrace)
 	defer cancel()
 	close(stop)
+	log.Printf("hermes-serve: draining %d in-flight job(s) (grace %v)", len(srv.inflight), *shutGrace)
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("hermes-serve: http shutdown: %v", err)
+		log.Printf("hermes-serve: http shutdown: %v (%d job(s) still in flight after %v grace)",
+			err, len(srv.inflight), *shutGrace)
 	}
 	if err := rt.Close(); err != nil {
 		log.Printf("hermes-serve: runtime close: %v", err)

@@ -313,6 +313,9 @@ func submit(base, spec string) (int64, error) {
 
 func pollDone(base string, id int64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	// Capped exponential backoff: quick jobs resolve within a couple of
+	// fast polls, slow ones don't get hammered at a fixed 5ms cadence.
+	wait := 2 * time.Millisecond
 	for time.Now().Before(deadline) {
 		body, err := get(fmt.Sprintf("%s/jobs/%d", base, id))
 		if err != nil {
@@ -331,7 +334,10 @@ func pollDone(base string, id int64, timeout time.Duration) error {
 		case "failed":
 			return fmt.Errorf("job failed: %s", st.Error)
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(wait)
+		if wait *= 2; wait > 250*time.Millisecond {
+			wait = 250 * time.Millisecond
+		}
 	}
 	return fmt.Errorf("not done after %v", timeout)
 }

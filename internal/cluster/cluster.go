@@ -129,23 +129,38 @@ func (p Policy) GossipParams() (interval, staleness units.Time, batch int) {
 }
 
 // randomPlacer is uniform random, load-blind: the spreading baseline
-// consolidating policies are measured against.
+// consolidating policies are measured against. Dead machines are
+// skipped by scanning forward from the draw, so the stream stays
+// byte-identical to the fault-free run (one draw per placement).
 type randomPlacer struct{}
 
 func (randomPlacer) Place(v core.PlacementView, rng *rand.Rand) int {
-	return rng.Intn(v.Machines())
+	n := v.Machines()
+	m := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		if c := (m + i) % n; v.Alive(c) {
+			return c
+		}
+	}
+	return m // whole fleet down; the cluster defers or loses the job
 }
 
 // jsqPlacer is join-shortest-queue over exact instantaneous loads,
-// ties to the lowest machine index.
+// ties to the lowest live machine index.
 type jsqPlacer struct{}
 
 func (jsqPlacer) Place(v core.PlacementView, _ *rand.Rand) int {
-	best, load := 0, v.Load(0)
-	for m := 1; m < v.Machines(); m++ {
-		if l := v.Load(m); l < load {
+	best, load := -1, 0
+	for m := 0; m < v.Machines(); m++ {
+		if !v.Alive(m) {
+			continue
+		}
+		if l := v.Load(m); best < 0 || l < load {
 			best, load = m, l
 		}
+	}
+	if best < 0 {
+		return 0 // whole fleet down; the cluster defers or loses the job
 	}
 	return best
 }
@@ -156,7 +171,10 @@ func (jsqPlacer) Place(v core.PlacementView, _ *rand.Rand) int {
 // lowest DVFS tier); once the fleet is saturated, sample k machines
 // and join the least loaded, ties to the lowest sampled index. The rng
 // only advances when sampling actually happens, keeping the stream
-// deterministic per (trace, seed).
+// deterministic per (trace, seed); dead samples are discarded but
+// still drawn (k draws either way), so enabling faults never shifts
+// the fault-free stream. If every sample is dead, fall back to the
+// lowest-indexed live machine.
 type pkcPlacer struct{ k int }
 
 func (p pkcPlacer) Place(v core.PlacementView, rng *rand.Rand) int {
@@ -167,9 +185,20 @@ func (p pkcPlacer) Place(v core.PlacementView, rng *rand.Rand) int {
 	best, load := -1, 0
 	for i := 0; i < p.k; i++ {
 		m := rng.Intn(n)
+		if !v.Alive(m) {
+			continue
+		}
 		if l := v.Load(m); best < 0 || l < load || (l == load && m < best) {
 			best, load = m, l
 		}
+	}
+	if best < 0 {
+		for m := 0; m < n; m++ {
+			if v.Alive(m) {
+				return m
+			}
+		}
+		return 0 // whole fleet down; the cluster defers or loses the job
 	}
 	return best
 }

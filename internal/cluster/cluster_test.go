@@ -12,11 +12,20 @@ import (
 // running cluster.
 type fakeView struct {
 	loads []int
-	idle  int // lowest idle index, -1 for none
+	idle  int   // lowest idle index, -1 for none
+	dead  []int // crashed machine indices (nil = whole fleet alive)
 }
 
 func (f fakeView) Machines() int  { return len(f.loads) }
 func (f fakeView) Load(m int) int { return f.loads[m] }
+func (f fakeView) Alive(m int) bool {
+	for _, d := range f.dead {
+		if d == m {
+			return false
+		}
+	}
+	return true
+}
 func (f fakeView) IdleMachine() (int, bool) {
 	if f.idle < 0 {
 		return 0, false
@@ -116,6 +125,33 @@ func TestRandomPlacerCoversFleet(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Fatalf("random placement did not cover the fleet: %v", seen)
+	}
+}
+
+// TestPlacersSkipDeadMachines pins the failure-aware contract: no
+// family ever routes to a machine whose Alive is false while any live
+// machine remains.
+func TestPlacersSkipDeadMachines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := fakeView{loads: []int{0, 9, 1, 2}, idle: -1, dead: []int{0, 2}}
+	if m := (jsqPlacer{}).Place(v, nil); m != 3 {
+		t.Fatalf("jsq chose %d, want live shortest queue 3", m)
+	}
+	for i := 0; i < 200; i++ {
+		if m := (randomPlacer{}).Place(v, rng); m == 0 || m == 2 {
+			t.Fatalf("random placed on dead machine %d", m)
+		}
+		if m := (pkcPlacer{k: 2}).Place(v, rng); m == 0 || m == 2 {
+			t.Fatalf("p2c placed on dead machine %d", m)
+		}
+	}
+	// All samples dead every draw is possible with k=1; the fallback
+	// must still find a live machine.
+	mostlyDead := fakeView{loads: []int{4, 7}, idle: -1, dead: []int{0}}
+	for i := 0; i < 50; i++ {
+		if m := (pkcPlacer{k: 1}).Place(mostlyDead, rng); m != 1 {
+			t.Fatalf("p1c fallback chose dead machine %d", m)
+		}
 	}
 }
 

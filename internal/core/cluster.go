@@ -31,6 +31,10 @@ type PlacementView interface {
 	// is what consolidates load: higher-indexed machines stay parked in
 	// the lowest DVFS tier instead of each being woken once.
 	IdleMachine() (m int, ok bool)
+	// Alive reports whether machine m is accepting work — false while
+	// fault injection holds it crashed. Policies must not route to
+	// dead machines; the cluster re-routes (or defers) if one does.
+	Alive(m int) bool
 }
 
 // Placement chooses the machine for one arriving job. Implementations
@@ -67,6 +71,19 @@ type ClusterConfig struct {
 
 	// Seed drives the placement RNG; 0 adopts Machine.Seed.
 	Seed int64
+
+	// Faults is the injected failure schedule, replayed by an
+	// engine-side daemon on the shared virtual timeline; empty runs a
+	// fault-free fleet with zero overhead and byte-identical outcomes
+	// to a build without fault support at all.
+	Faults []FaultEvent
+	// RetryBudget bounds how many times a job evicted by a crash is
+	// re-placed before it is lost; 0 means the default (3).
+	RetryBudget int
+	// RetryBackoff is the base delay before an evicted job re-enters
+	// placement; attempt k waits backoff·2^(k-1) scaled by a seeded
+	// jitter in [0.5, 1.5). 0 means the default (100µs).
+	RetryBackoff units.Time
 }
 
 // Validate fills defaults and checks the cluster configuration,
@@ -98,6 +115,25 @@ func (c ClusterConfig) Validate() (ClusterConfig, error) {
 	if c.Seed == 0 {
 		c.Seed = c.Machine.Seed
 	}
+	if c.RetryBudget < 0 {
+		return c, fmt.Errorf("core: retry budget must not be negative, got %d", c.RetryBudget)
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = defaultRetryBudget
+	}
+	if c.RetryBackoff < 0 {
+		return c, fmt.Errorf("core: retry backoff must not be negative, got %v", c.RetryBackoff)
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = defaultRetryBackoff
+	}
+	if len(c.Faults) > 0 {
+		evs, err := validateFaults(c.Faults, c.Machines)
+		if err != nil {
+			return c, err
+		}
+		c.Faults = evs
+	}
 	return c, nil
 }
 
@@ -121,6 +157,22 @@ type ClusterStats struct {
 	Elapsed   units.Time
 	// EnergyJ is the fleet total through Elapsed.
 	EnergyJ float64
+
+	// Availability ledger (all zero on a fault-free run): Crashes and
+	// Rejoins count fault events applied; Retries counts job
+	// re-placements after crash evictions; Lost counts jobs the fleet
+	// could not finish (completed with ErrJobLost).
+	Crashes int64
+	Rejoins int64
+	Retries int64
+	Lost    int64
+	// Goodput is Completed / (Completed + Lost), or zero when the
+	// cluster finished nothing.
+	Goodput float64
+	// Downtime is each machine's accumulated dead time through Elapsed,
+	// snapshotted — like the rest of the ledger — at the fleet's last
+	// completion. Nil on a fault-free run.
+	Downtime []units.Time
 }
 
 // Cluster multiplexes N independent simulated machines — each its own
@@ -151,8 +203,31 @@ type Cluster struct {
 	idle         idleIndex
 	views        []queueView
 
+	// Fault-injection state: the fault daemon (nil without a plan),
+	// its cursor into cfg.Faults, the dedicated retry-jitter RNG, and
+	// the availability ledger. fleetDown mirrors fleetSnap: per-machine
+	// downtime frozen at each completion.
+	faultd      *sim.Proc
+	faultParked bool
+	faultIdx    int
+	frng        *rand.Rand
+	crashes     int64
+	rejoins     int64
+	retries     int64
+	lost        int64
+	fleetDown   []units.Time
+
 	placed   []int64
 	migrated []int64
+
+	// placing holds the job the intake has popped but not yet
+	// delivered, so a placement-policy panic mid-place cannot strand
+	// it outside every queue failRemaining sweeps.
+	placing *jobRun
+	// pendingClose mirrors Pool.pendingClose: a close received
+	// mid-timeline waits for engine quiescence so the post-drain
+	// event tail stays deterministic.
+	pendingClose bool
 
 	// Fleet snapshot frozen at every job completion (see onJobDone in
 	// pool.go): the last one is the deterministic end-of-trace ledger
@@ -215,6 +290,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		s.pool = &poolRun{}
 		m := m
 		s.onJobDone = func() { c.machineJobDone(m) }
+		if len(cfg.Faults) > 0 {
+			s.onEvicted = c.requeue
+		}
 		c.ms = append(c.ms, s)
 	}
 	c.eng.SetTick(c.pump)
@@ -225,6 +303,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.intake = c.eng.Go("cluster-intake", c.intakeLoop)
 	if cfg.GossipInterval > 0 {
 		c.gossipd = c.eng.Go("cluster-gossipd", c.gossipLoop)
+	}
+	if len(cfg.Faults) > 0 {
+		c.frng = rand.New(rand.NewSource(cfg.Seed*1_000_003 + faultSeedSalt))
+		c.fleetDown = make([]units.Time, cfg.Machines)
+		c.faultd = c.eng.Go("cluster-faultd", c.faultLoop)
 	}
 	c.wg.Add(1)
 	go func() {
@@ -243,6 +326,7 @@ func (c *Cluster) Config() ClusterConfig { return c.cfg }
 func (c *Cluster) Machines() int            { return len(c.ms) }
 func (c *Cluster) Load(m int) int           { return len(c.ms[m].pool.active) }
 func (c *Cluster) IdleMachine() (int, bool) { return c.idle.min() }
+func (c *Cluster) Alive(m int) bool         { return !c.ms[m].dead }
 
 // idleIndex is a lazy min-heap over machine indices believed idle:
 // pushes are deduplicated, stale entries (machines observed loaded)
@@ -308,12 +392,14 @@ func (h *idleIndex) pop() int {
 }
 
 // min returns the lowest idle machine index, discarding entries that
-// have become loaded since they were pushed. The returned entry stays
-// in the heap — it is evicted lazily once observed busy.
+// have become loaded — or crashed — since they were pushed. The
+// returned entry stays in the heap — it is evicted lazily once
+// observed busy; a crashed machine is evicted here and re-pushed when
+// it rejoins empty.
 func (h *idleIndex) min() (int, bool) {
 	for len(h.ids) > 0 {
 		m := h.ids[0]
-		if h.c.Load(m) == 0 {
+		if h.c.Load(m) == 0 && h.c.Alive(m) {
 			return m, true
 		}
 		h.pop()
@@ -403,6 +489,16 @@ func (c *Cluster) Stats() ClusterStats {
 		Migrated:  append([]int64(nil), c.migrated...),
 		Completed: c.completed,
 		Elapsed:   c.fleetAt,
+		Crashes:   c.crashes,
+		Rejoins:   c.rejoins,
+		Retries:   c.retries,
+		Lost:      c.lost,
+	}
+	if total := c.completed + c.lost; total > 0 {
+		st.Goodput = float64(c.completed) / float64(total)
+	}
+	if c.fleetDown != nil {
+		st.Downtime = append([]units.Time(nil), c.fleetDown...)
 	}
 	for m := range c.ms {
 		snap := c.fleetSnap[m]
@@ -436,6 +532,15 @@ func (c *Cluster) pump() {
 	for {
 		select {
 		case msg := <-c.msgs:
+			if msg.close {
+				// Hold the close until the engine is quiescent (see
+				// Pool.pendingClose): applying it between scheduled
+				// events would race the wall clock against the virtual
+				// one and make the post-drain event tail
+				// nondeterministic.
+				c.pendingClose = true
+				continue
+			}
 			c.apply(msg)
 		default:
 			return
@@ -455,6 +560,11 @@ func (c *Cluster) pumpBlocking() bool {
 		if len(s.pool.active) > 0 {
 			return false
 		}
+	}
+	if c.pendingClose {
+		c.pendingClose = false
+		c.apply(poolMsg{close: true})
+		return true
 	}
 	c.apply(<-c.msgs)
 	return true
@@ -513,6 +623,9 @@ func (c *Cluster) failRemaining() {
 		break
 	}
 	c.mu.Unlock()
+	if c.placing != nil {
+		fail(c.placing)
+	}
 	for _, j := range c.arrivals {
 		fail(j)
 	}
@@ -531,12 +644,14 @@ func (c *Cluster) failRemaining() {
 // intakeLoop is the cluster's arrival process: it pops due arrivals in
 // (time, id) order, asks the placement policy for a machine at each
 // arrival's virtual instant, and delivers the job there. On shutdown
-// it drains its own heap first, then propagates stop to every machine
-// (whose intakes run only the drain handshake in cluster mode) and to
-// the gossip daemon.
+// it drains its own heap AND waits for every in-flight job before
+// propagating stop to the machines (whose intakes run only the drain
+// handshake in cluster mode) and the daemons: a crash can push an
+// in-flight job back into the arrival heap, so the intake must outlive
+// the last active job, not just the last pristine arrival.
 func (c *Cluster) intakeLoop(p *sim.Proc) {
 	for {
-		if c.stop && c.arrivals.Len() == 0 {
+		if c.stop && c.arrivals.Len() == 0 && c.totalActive() == 0 {
 			for _, s := range c.ms {
 				s.pool.stop = true
 				s.pool.intake.Wake()
@@ -544,11 +659,16 @@ func (c *Cluster) intakeLoop(p *sim.Proc) {
 			if c.gossipd != nil {
 				c.gossipd.Wake()
 			}
+			if c.faultd != nil {
+				c.faultd.Wake()
+			}
 			return
 		}
 		if c.arrivals.Len() > 0 && c.arrivals[0].at <= c.eng.Now() {
 			j := heap.Pop(&c.arrivals).(*jobRun)
+			c.placing = j
 			c.place(j)
+			c.placing = nil
 			continue
 		}
 		if c.arrivals.Len() > 0 {
@@ -560,14 +680,34 @@ func (c *Cluster) intakeLoop(p *sim.Proc) {
 }
 
 // place routes one job through the placement policy and delivers it.
+// A policy that returns a dead machine (test policies need not be
+// failure-aware) is corrected to the lowest-indexed live one; with the
+// whole fleet down the job waits for the plan's next rejoin, or is
+// lost.
 func (c *Cluster) place(j *jobRun) {
 	m := c.cfg.Placement.Place(c, c.rng)
 	if m < 0 || m >= len(c.ms) {
 		panic(fmt.Sprintf("core: placement chose machine %d of %d", m, len(c.ms)))
 	}
+	if c.ms[m].dead {
+		m = -1
+		for i, s := range c.ms {
+			if !s.dead {
+				m = i
+				break
+			}
+		}
+		if m < 0 {
+			c.deferOrLose(j)
+			return
+		}
+	}
 	c.placed[m]++
 	if c.gossipParked {
 		c.gossipd.Wake()
+	}
+	if c.faultParked {
+		c.faultd.Wake()
 	}
 	c.ms[m].deliver(j)
 }
@@ -579,7 +719,7 @@ func (c *Cluster) place(j *jobRun) {
 // machine's draw through the same deterministic window.
 func (c *Cluster) machineJobDone(m int) {
 	c.completed++
-	if len(c.ms[m].pool.active) == 0 {
+	if len(c.ms[m].pool.active) == 0 && !c.ms[m].dead {
 		c.idle.push(m)
 	}
 	c.fleetAt = c.eng.Now()
@@ -587,6 +727,16 @@ func (c *Cluster) machineJobDone(m int) {
 		s.touch()
 		c.fleetSnap[i] = s.poolSnapNow()
 		c.fleetTasks[i], c.fleetSpawns[i], c.fleetSteals[i] = s.tasks, s.spawns, s.steals
+		if c.fleetDown != nil {
+			d := s.downTotal
+			if s.dead {
+				d += c.fleetAt - s.downAt
+			}
+			c.fleetDown[i] = d
+		}
+	}
+	if c.stop && c.arrivals.Len() == 0 && c.totalActive() == 0 {
+		c.wakeIntake()
 	}
 }
 
@@ -632,7 +782,7 @@ func (c *Cluster) gossipTick() {
 	now := c.eng.Now()
 	for t := range c.ms {
 		thief := c.ms[t]
-		if thief.done || len(thief.pool.active) != 0 {
+		if thief.done || thief.dead || len(thief.pool.active) != 0 {
 			continue
 		}
 		// Most-loaded peer by the stale published views; ties go to the
@@ -644,7 +794,7 @@ func (c *Cluster) gossipTick() {
 				best, bestLoad = v, c.views[v].load
 			}
 		}
-		if best < 0 || c.ms[best].done {
+		if best < 0 || c.ms[best].done || c.ms[best].dead {
 			continue
 		}
 		// The pull itself negotiates with the victim, so the batch is
@@ -666,7 +816,11 @@ func (c *Cluster) gossipTick() {
 	}
 	for m := range c.ms {
 		if now-c.views[m].at >= c.cfg.GossipStaleness {
-			c.views[m] = queueView{load: len(c.ms[m].pool.active), at: now}
+			load := len(c.ms[m].pool.active)
+			if c.ms[m].dead {
+				load = 0 // a dead machine has nothing worth pulling
+			}
+			c.views[m] = queueView{load: load, at: now}
 		}
 	}
 }

@@ -73,6 +73,13 @@ type Pool struct {
 	msgs chan poolMsg
 	dead chan struct{} // closed when the engine goroutine exits
 
+	// pendingClose holds a close message received mid-timeline until
+	// the engine is quiescent: applying it between scheduled events
+	// would race the wall clock against the virtual one, making the
+	// post-drain event tail (idle parks, tempo spin-downs)
+	// nondeterministic.
+	pendingClose bool
+
 	mu     sync.Mutex
 	closed bool
 	// broken is set (under mu, after dead closes) by the engine
@@ -109,6 +116,15 @@ type jobRun struct {
 	// re-baselining its snapshot there without restarting its sojourn
 	// clock.
 	delivered bool
+	// Fault-recovery state (cluster mode): evicted marks a job whose
+	// machine crashed under it — remaining bodies are skipped and the
+	// drained job routes through the cluster's requeue instead of a
+	// report. retries counts re-placements; placements the machines
+	// that accepted the job, in order (recorded only with faults
+	// configured).
+	evicted    bool
+	retries    int64
+	placements []int
 
 	tasks, spawns, steals int64
 	energyJ               float64 // exact interval-partitioned share of machine joules
@@ -208,6 +224,10 @@ func (p *Pool) pump() {
 	for {
 		select {
 		case msg := <-p.msgs:
+			if msg.close {
+				p.pendingClose = true
+				continue
+			}
 			p.apply(msg)
 		default:
 			return
@@ -223,6 +243,11 @@ func (p *Pool) pump() {
 func (p *Pool) pumpBlocking() bool {
 	if len(p.s.pool.active) > 0 {
 		return false
+	}
+	if p.pendingClose {
+		p.pendingClose = false
+		p.apply(poolMsg{close: true})
+		return true
 	}
 	p.apply(<-p.msgs)
 	return true
@@ -487,6 +512,9 @@ func (s *sched) deliver(j *jobRun) {
 		j.arriveAt = now
 		s.emit(obs.Event{Kind: obs.JobStart, Job: j.id, Time: now, Worker: -1, Victim: -1})
 	}
+	if s.onEvicted != nil {
+		j.placements = append(j.placements, s.mid)
+	}
 	s.pool.active = append(s.pool.active, j)
 	if s.taskCancelled(j) {
 		s.jobDone(j, true)
@@ -522,6 +550,22 @@ func (s *sched) poolTake() *task {
 // itself (a job cancelled at arrival): it must not wake itself, and
 // its own loop re-checks the shutdown condition instead.
 func (s *sched) jobDone(j *jobRun, fromIntake bool) {
+	if j != nil && j.evicted && s.onEvicted != nil {
+		// The machine crashed under this job and its fork-join drain
+		// just finished: no report, no JobDone framing, no aggregate
+		// freeze — the job re-enters placement through the cluster.
+		// Sojourn keeps running across the retry; tasks, steals and
+		// attributed energy accumulate across attempts.
+		s.touch()
+		for i, a := range s.pool.active {
+			if a == j {
+				s.pool.active = append(s.pool.active[:i], s.pool.active[i+1:]...)
+				break
+			}
+		}
+		s.onEvicted(j)
+		return
+	}
 	s.touch()
 	now := s.eng.Now()
 	end := s.poolSnapNow()
@@ -641,6 +685,8 @@ func (s *sched) buildJobReport(j *jobRun, now units.Time, end poolSnap) Report {
 		SlowBusyTime:  end.slow - j.snap.slow,
 		FreqBusy:      map[units.Freq]units.Time{},
 		PerWorker:     make([]WorkerStats, len(end.perWorker)),
+		Retries:       j.retries,
+		Placements:    append([]int(nil), j.placements...),
 	}
 	if sojourn > 0 {
 		r.AvgPowerW = energy / sojourn.Seconds()

@@ -48,6 +48,14 @@ type Report struct {
 	DVFSCommits   int64 // domain frequency transitions that actually landed
 	Parks         int64 // join-depth-cap parks
 
+	// Failure-recovery history (cluster fault injection; zero/nil
+	// otherwise). Retries counts how many times a machine crash evicted
+	// the job and the cluster re-placed it; Placements lists every
+	// machine that accepted the job, in order — including gossip
+	// migrations, so len(Placements) >= Retries+1 when recorded.
+	Retries    int64
+	Placements []int
+
 	// Residency, summed over worker cores.
 	BusyTime units.Time
 	SpinTime units.Time

@@ -42,6 +42,21 @@ type sched struct {
 	// snapshot, taken at the deterministic virtual instant of each
 	// completion.
 	onJobDone func()
+	// onEvicted, if non-nil, receives each job whose drain finished
+	// after a crash evicted it — the cluster's re-placement hook. Set
+	// only when fault injection is configured.
+	onEvicted func(*jobRun)
+	// Fault-injection state (cluster.go / fault.go). dead marks a
+	// fail-stopped machine: residency accumulation pauses, the meter
+	// gates to zero draw, and the placement tier routes around it.
+	// downAt/downTotal track the availability ledger. slowFactor > 1
+	// inflates CPU work segments (a straggler); slowPinned pins every
+	// worker to the lowest DVFS tier instead.
+	dead       bool
+	downAt     units.Time
+	downTotal  units.Time
+	slowFactor float64
+	slowPinned bool
 	// lastDone freezes the machine-wide aggregate at the most recent
 	// job completion (pool mode): the deterministic end-of-trace
 	// snapshot Pool.MachineStats reports.
@@ -143,6 +158,12 @@ func (s *sched) start() {
 func (s *sched) touch() {
 	now := s.eng.Now()
 	served := 0
+	if now > s.lastTouch && !s.frozen && s.dead {
+		// A crashed machine accrues no residency: the interval is
+		// downtime, not busy/spin/idle time, and the gated meter
+		// integrates it at zero watts below.
+		s.lastTouch = now
+	}
 	if now > s.lastTouch && !s.frozen {
 		dt := now - s.lastTouch
 		maxF := s.cfg.Spec.MaxFreq()
@@ -211,6 +232,12 @@ func (s *sched) taskCancelled(j *jobRun) bool {
 		return s.cancelled()
 	}
 	if j.failErr != nil {
+		return true
+	}
+	if j.evicted {
+		// The machine crashed under this job: skip remaining bodies so
+		// the fork-join structure drains at zero work cost, without
+		// marking the job interrupted — it re-places and runs elsewhere.
 		return true
 	}
 	if j.cancelled != nil && j.cancelled() {
@@ -301,6 +328,11 @@ func (s *sched) retune(w *worker) {
 	fi := s.level(w)
 	if max := len(s.cfg.Freqs) - 1; fi > max {
 		fi = max
+	}
+	if s.slowPinned {
+		// Tier-pinned straggler: whatever the tempo strategies ask for,
+		// the machine answers with its lowest frequency.
+		fi = len(s.cfg.Freqs) - 1
 	}
 	f := s.cfg.Freqs[fi]
 	if w.core.Req == f && !s.pendingDiffers(w, f) {

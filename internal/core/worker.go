@@ -543,20 +543,34 @@ func (w *worker) parkOnBlock(blk *block) {
 
 // workCycles advances virtual time by c cycles at the core's current
 // frequency, re-rating the remainder whenever the clock domain
-// commits a DVFS transition mid-segment.
+// commits a DVFS transition — or the machine's straggler factor
+// changes — mid-segment. An eviction (machine crash under this job)
+// abandons the remaining cycles: the job re-runs elsewhere.
 func (w *worker) workCycles(c units.Cycles) {
 	rem := c
 	for rem > 0 {
+		if j := w.curJob; j != nil && j.evicted {
+			return
+		}
 		f := w.core.Dom.Freq()
+		slow := w.s.slowFactor
 		start := w.s.eng.Now()
-		end := start + rem.DurationAt(f)
+		dur := rem.DurationAt(f)
+		if slow > 1 {
+			dur = units.Time(float64(dur) * slow)
+		}
+		end := start + dur
 		w.inWork = true
 		resumed := w.proc.WaitUntil(end)
 		w.inWork = false
 		if resumed >= end {
 			return // full segment retired at constant frequency
 		}
-		done := units.CyclesIn(resumed-start, f)
+		el := resumed - start
+		if slow > 1 {
+			el = units.Time(float64(el) / slow)
+		}
+		done := units.CyclesIn(el, f)
 		if done >= rem {
 			return
 		}
@@ -574,8 +588,12 @@ func (w *worker) memWork(d units.Time) {
 		if w.proc.WaitUntil(end) >= end {
 			return
 		}
-		// Spurious wake (e.g. run teardown); re-park until done.
+		// Spurious wake (e.g. run teardown, eviction); re-park until
+		// done unless the stall no longer matters.
 		if w.s.done {
+			return
+		}
+		if j := w.curJob; j != nil && j.evicted {
 			return
 		}
 	}

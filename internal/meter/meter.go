@@ -41,6 +41,7 @@ type Meter struct {
 
 	last   units.Time
 	joules float64
+	gated  bool
 
 	samples    []Sample
 	nextSample units.Time
@@ -62,6 +63,9 @@ func (m *Meter) Advance(now units.Time) {
 		return
 	}
 	w := m.model.MachineWatts(m.mach)
+	if m.gated {
+		w = 0
+	}
 	// 100 Hz samples inside (last, now]. The sample records the power
 	// that was flowing when the DAQ tick fired and the cumulative
 	// energy integrated up to that tick.
@@ -75,6 +79,13 @@ func (m *Meter) Advance(now units.Time) {
 	m.joules += w * (now - m.last).Seconds()
 	m.last = now
 }
+
+// Gate forces the meter to integrate zero power while on — the
+// fail-stop model of a crashed machine: no draw through downtime, and
+// the 100 Hz trace shows the outage as 0 W samples. Callers must
+// Advance to the fault instant first so the preceding interval
+// integrates at the live (or dead) rate it actually ran at.
+func (m *Meter) Gate(on bool) { m.gated = on }
 
 // Energy returns the exact integrated energy in joules up to the last
 // Advance.

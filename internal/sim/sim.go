@@ -171,6 +171,11 @@ func IsUnwind(v any) bool {
 // the caller of Run, between runs) may call it.
 func (e *Engine) Now() units.Time { return e.now }
 
+// Current returns the process executing right now, or nil between
+// events (hooks, or the caller of Run). Engine-side plumbing that may
+// run on several processes uses it to avoid illegal self-wakes.
+func (e *Engine) Current() *Proc { return e.current }
+
 // Go registers a new process whose body starts at the current virtual
 // time, after already-scheduled events at that time. It may be called
 // before Run or from a running process.

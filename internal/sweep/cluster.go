@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/fault"
 	"hermes/internal/trace"
 	"hermes/internal/units"
 	"hermes/internal/workload"
@@ -21,7 +22,11 @@ type ClusterConfig struct {
 	Workload workload.Spec
 	// Trace names the arrival process from the internal/trace registry
 	// ("" = poisson).
-	Trace      string
+	Trace string
+	// Faults names the fault plans from the internal/fault registry to
+	// sweep over ("" or "none" = fault-free). Empty means a single
+	// fault-free pass — the pre-chaos artifact, byte for byte.
+	Faults     []string
 	Mode       hermes.Mode
 	Policies   []hermes.Placement
 	Machines   []int // fleet sizes; ascending preferred
@@ -87,6 +92,18 @@ type ClusterPoint struct {
 	// woke in every trial.
 	IdleMachines int64 `json:"idle_machines"`
 
+	// Availability ledger, summed over trials. All zero (and omitted
+	// from JSON) on fault-free points, so pre-chaos artifacts keep
+	// their byte-exact shape. Availability is completed over
+	// completed+lost; DowntimeS total machine-seconds of crash
+	// downtime across the fleet.
+	Crashes      int64   `json:"crashes,omitempty"`
+	Rejoins      int64   `json:"rejoins,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
+	Lost         int64   `json:"lost,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
+	DowntimeS    float64 `json:"downtime_s,omitempty"`
+
 	PerMachine []MachinePoint `json:"per_machine"`
 	// Tiers is fleet-wide DVFS residency (share of busy core-time per
 	// frequency), fastest first.
@@ -96,8 +113,11 @@ type ClusterPoint struct {
 // ClusterCurve is one (policy, machines) combination's curve over the
 // rate grid.
 type ClusterCurve struct {
-	Policy        string  `json:"policy"`
-	Machines      int     `json:"machines"`
+	Policy   string `json:"policy"`
+	Machines int    `json:"machines"`
+	// Faults is the curve's fault plan, normalized so the fault-free
+	// default stays "" (byte-stable pre-chaos artifacts).
+	Faults        string  `json:"faults,omitempty"`
 	UnloadedP50MS float64 `json:"unloaded_p50_ms"`
 	// KneeRPS is null when no knee resolved (single-rate grid, no
 	// crossing); KneeReason says why — same semantics as Curve.
@@ -121,16 +141,19 @@ type ClusterResult struct {
 	Workload workload.Spec `json:"workload"`
 	// Trace is the arrival process, normalized so the default poisson
 	// process stays "" (byte-stable poisson-era artifacts).
-	Trace      string         `json:"trace,omitempty"`
-	Mode       string         `json:"mode"`
-	Policies   []string       `json:"policies"`
-	Machines   []int          `json:"machines"`
-	RatesRPS   []float64      `json:"rates_rps"`
-	WindowS    float64        `json:"window_s"`
-	Seed       int64          `json:"seed"`
-	Trials     int            `json:"trials"`
-	Workers    int            `json:"workers"`
-	KneeFactor float64        `json:"knee_factor"`
+	Trace      string    `json:"trace,omitempty"`
+	Mode       string    `json:"mode"`
+	Policies   []string  `json:"policies"`
+	Machines   []int     `json:"machines"`
+	RatesRPS   []float64 `json:"rates_rps"`
+	WindowS    float64   `json:"window_s"`
+	Seed       int64     `json:"seed"`
+	Trials     int       `json:"trials"`
+	Workers    int       `json:"workers"`
+	KneeFactor float64   `json:"knee_factor"`
+	// FaultPlans lists the swept fault plans by registered name; nil
+	// when the sweep was entirely fault-free (pre-chaos artifact shape).
+	FaultPlans []string       `json:"fault_plans,omitempty"`
 	Curves     []ClusterCurve `json:"curves"`
 }
 
@@ -147,8 +170,9 @@ type clusterTrialOut struct {
 	workers  int
 }
 
-// runClusterTrial replays one seeded trace through a fresh Cluster.
-func runClusterTrial(cfg ClusterConfig, policy hermes.Placement, machines int, rps float64, seed int64) (clusterTrialOut, error) {
+// runClusterTrial replays one seeded trace through a fresh Cluster,
+// injecting plan's fault schedule compiled for the same seed.
+func runClusterTrial(cfg ClusterConfig, plan string, policy hermes.Placement, machines int, rps float64, seed int64) (clusterTrialOut, error) {
 	var out clusterTrialOut
 	arrivals, err := TraceArrivals(cfg.Workload, cfg.Trace, rps, cfg.Window, seed)
 	if err != nil {
@@ -159,6 +183,14 @@ func runClusterTrial(cfg ClusterConfig, policy hermes.Placement, machines int, r
 		hermes.WithPlacement(policy),
 		hermes.WithMode(cfg.Mode),
 		hermes.WithSeed(seed),
+	}
+	if fault.Canonical(plan) != "" {
+		horizon := units.Time(cfg.Window.Nanoseconds()) * units.Nanosecond
+		evs, err := fault.Compile(plan, seed, machines, horizon)
+		if err != nil {
+			return out, err
+		}
+		copts = append(copts, hermes.WithFaults(evs...))
 	}
 	if cfg.Workers > 0 {
 		copts = append(copts, hermes.WithWorkers(cfg.Workers))
@@ -205,9 +237,9 @@ func runClusterTrial(cfg ClusterConfig, policy hermes.Placement, machines int, r
 	return out, nil
 }
 
-// runClusterPoint measures one (policy, machines, rate) grid point
-// over cfg.Trials seeded traces.
-func runClusterPoint(cfg ClusterConfig, policy hermes.Placement, machines int, rps float64) (ClusterPoint, error) {
+// runClusterPoint measures one (plan, policy, machines, rate) grid
+// point over cfg.Trials seeded traces.
+func runClusterPoint(cfg ClusterConfig, plan string, policy hermes.Placement, machines int, rps float64) (ClusterPoint, error) {
 	trials := cfg.Trials
 	if trials < 1 {
 		trials = 1
@@ -228,10 +260,21 @@ func runClusterPoint(cfg ClusterConfig, policy hermes.Placement, machines int, r
 		steals           int64
 		makespan         units.Time
 	)
+	var (
+		lost     int64
+		downtime units.Time
+	)
 	for trial := 0; trial < trials; trial++ {
-		out, err := runClusterTrial(cfg, policy, machines, rps, cfg.Seed+int64(trial))
+		out, err := runClusterTrial(cfg, plan, policy, machines, rps, cfg.Seed+int64(trial))
 		if err != nil {
 			return ClusterPoint{}, err
+		}
+		pt.Crashes += out.stats.Crashes
+		pt.Rejoins += out.stats.Rejoins
+		pt.Retries += out.stats.Retries
+		lost += out.stats.Lost
+		for _, d := range out.stats.Downtime {
+			downtime += d
 		}
 		pt.Arrivals += out.arrivals
 		pt.Errors += out.errors
@@ -288,6 +331,16 @@ func runClusterPoint(cfg ClusterConfig, policy hermes.Placement, machines int, r
 		pt.FleetJoulesPerRequest = fleetJ / float64(pt.Completed)
 		pt.StealsPerRequest = float64(steals) / float64(pt.Completed)
 	}
+	// Availability and downtime only appear on chaos points: a
+	// fault-free point's availability is trivially 1 and writing it
+	// would reshape the pre-chaos artifact.
+	if fault.Canonical(plan) != "" {
+		pt.Lost = lost
+		pt.DowntimeS = downtime.Seconds()
+		if pt.Completed+lost > 0 {
+			pt.Availability = float64(pt.Completed) / float64(pt.Completed+lost)
+		}
+	}
 	if s := fleetElapsed.Seconds(); s > 0 {
 		pt.FleetAvgPowerW = fleetJ / s
 	}
@@ -316,6 +369,19 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	cfg.Workload = spec
 	if _, err := trace.Resolve(cfg.Trace); err != nil {
 		return ClusterResult{}, err
+	}
+	plans := cfg.Faults
+	if len(plans) == 0 {
+		plans = []string{""}
+	}
+	chaos := false
+	for _, plan := range plans {
+		if _, err := fault.Resolve(plan); err != nil {
+			return ClusterResult{}, err
+		}
+		if fault.Canonical(plan) != "" {
+			chaos = true
+		}
 	}
 	if len(cfg.Policies) == 0 {
 		return ClusterResult{}, fmt.Errorf("sweep: no placement policies given")
@@ -364,31 +430,49 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		Workers:    cfg.Workers,
 		KneeFactor: factor,
 	}
-	for _, p := range cfg.Policies {
-		v, err := p.Validate()
-		if err != nil {
-			return ClusterResult{}, err
+	if chaos {
+		for _, plan := range plans {
+			p, _ := fault.Resolve(plan)
+			res.FaultPlans = append(res.FaultPlans, p.Name)
 		}
-		res.Policies = append(res.Policies, v.String())
-		for _, machines := range cfg.Machines {
-			curve := ClusterCurve{Policy: v.String(), Machines: machines}
-			var p99s []float64
-			for _, rate := range rates {
-				pt, err := runClusterPoint(cfg, v, machines, rate)
-				if err != nil {
-					return ClusterResult{}, fmt.Errorf("sweep: %s ×%d @ %g rps: %w", v, machines, rate, err)
-				}
-				curve.Points = append(curve.Points, pt)
-				p99s = append(p99s, pt.P99SojournMS)
-				if cfg.Log != nil {
-					cfg.Log(fmt.Sprintf("cluster %s ×%d @ %g rps: p50=%.3fms p99=%.3fms fleetJ/req=%.4f idle=%d migr=%d",
-						v, machines, rate, pt.P50SojournMS, pt.P99SojournMS,
-						pt.FleetJoulesPerRequest, pt.IdleMachines, pt.Migrated))
-				}
+	}
+	// Plans outermost: every fault plan replays the full (policy ×
+	// machines × rate) grid over the SAME seeded traces, so curves
+	// differ only by injected faults.
+	for planIdx, plan := range plans {
+		for _, p := range cfg.Policies {
+			v, err := p.Validate()
+			if err != nil {
+				return ClusterResult{}, err
 			}
-			curve.UnloadedP50MS = curve.Points[0].P50SojournMS
-			curve.KneeRPS, curve.KneeReason = DetectKnee(rates, p99s, curve.UnloadedP50MS, factor)
-			res.Curves = append(res.Curves, curve)
+			if planIdx == 0 {
+				res.Policies = append(res.Policies, v.String())
+			}
+			for _, machines := range cfg.Machines {
+				curve := ClusterCurve{Policy: v.String(), Machines: machines, Faults: fault.Canonical(plan)}
+				var p99s []float64
+				for _, rate := range rates {
+					pt, err := runClusterPoint(cfg, plan, v, machines, rate)
+					if err != nil {
+						return ClusterResult{}, fmt.Errorf("sweep: %s ×%d @ %g rps (faults %q): %w", v, machines, rate, plan, err)
+					}
+					curve.Points = append(curve.Points, pt)
+					p99s = append(p99s, pt.P99SojournMS)
+					if cfg.Log != nil {
+						line := fmt.Sprintf("cluster %s ×%d @ %g rps: p50=%.3fms p99=%.3fms fleetJ/req=%.4f idle=%d migr=%d",
+							v, machines, rate, pt.P50SojournMS, pt.P99SojournMS,
+							pt.FleetJoulesPerRequest, pt.IdleMachines, pt.Migrated)
+						if f := fault.Canonical(plan); f != "" {
+							line += fmt.Sprintf(" [%s: crashes=%d retries=%d lost=%d avail=%.4f]",
+								f, pt.Crashes, pt.Retries, pt.Lost, pt.Availability)
+						}
+						cfg.Log(line)
+					}
+				}
+				curve.UnloadedP50MS = curve.Points[0].P50SojournMS
+				curve.KneeRPS, curve.KneeReason = DetectKnee(rates, p99s, curve.UnloadedP50MS, factor)
+				res.Curves = append(res.Curves, curve)
+			}
 		}
 	}
 	return res, nil
@@ -399,21 +483,34 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 // machine:placed:migrated:energy tuples.
 func (r ClusterResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("policy,machines,offered_rps,arrivals,completed,errors,peak_inflight,observed_rps," +
+	b.WriteString("policy,machines,faults,offered_rps,arrivals,completed,errors,peak_inflight,observed_rps," +
 		"p50_sojourn_ms,p95_sojourn_ms,p99_sojourn_ms,max_sojourn_ms," +
 		"p50_queue_ms,p95_queue_ms,p99_queue_ms," +
-		"fleet_joules_per_request,fleet_avg_power_w,steals_per_request,migrated,idle_machines,knee_rps,per_machine\n")
+		"fleet_joules_per_request,fleet_avg_power_w,steals_per_request,migrated,idle_machines," +
+		"crashes,rejoins,retries,lost,availability,downtime_s,knee_rps,per_machine\n")
 	for _, c := range r.Curves {
+		faults := c.Faults
+		if faults == "" {
+			faults = "none"
+		}
 		for _, p := range c.Points {
 			per := make([]string, len(p.PerMachine))
 			for i, m := range p.PerMachine {
 				per[i] = fmt.Sprintf("%d:%d:%d:%.6f", m.Machine, m.Placed, m.Migrated, m.EnergyJ)
 			}
-			fmt.Fprintf(&b, "%s,%d,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%d,%d,%s,%s\n",
-				c.Policy, c.Machines, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
+			// Fault-free points never set Availability (keeps the JSON
+			// artifact byte-stable); in the flat CSV render it as the 1
+			// it trivially is.
+			avail := p.Availability
+			if c.Faults == "" && p.Completed > 0 {
+				avail = 1
+			}
+			fmt.Fprintf(&b, "%s,%d,%s,%g,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.8f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%s,%s\n",
+				c.Policy, c.Machines, faults, p.OfferedRPS, p.Arrivals, p.Completed, p.Errors, p.PeakInflight, p.ObservedRPS,
 				p.P50SojournMS, p.P95SojournMS, p.P99SojournMS, p.MaxSojournMS,
 				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
-				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines, kneeCSV(c.KneeRPS),
+				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines,
+				p.Crashes, p.Rejoins, p.Retries, p.Lost, avail, p.DowntimeS, kneeCSV(c.KneeRPS),
 				strings.Join(per, ";"))
 		}
 	}
@@ -426,7 +523,11 @@ func (r ClusterResult) String() string {
 	fmt.Fprintf(&b, "cluster sweep: %s, mode=%s, window=%.3gs, seed=%d, trials=%d, workers/machine=%d\n",
 		r.Workload, r.Mode, r.WindowS, r.Seed, r.Trials, r.Workers)
 	for _, c := range r.Curves {
-		fmt.Fprintf(&b, "policy %s × %d machines (unloaded p50 %.3fms", c.Policy, c.Machines, c.UnloadedP50MS)
+		fmt.Fprintf(&b, "policy %s × %d machines", c.Policy, c.Machines)
+		if c.Faults != "" {
+			fmt.Fprintf(&b, " [faults %s]", c.Faults)
+		}
+		fmt.Fprintf(&b, " (unloaded p50 %.3fms", c.UnloadedP50MS)
 		if k, ok := c.Knee(); ok {
 			fmt.Fprintf(&b, ", knee @ %g rps ×%g", k, r.KneeFactor)
 		} else {

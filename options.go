@@ -13,10 +13,16 @@ type settings struct {
 	asyncObs Observer
 	asyncBuf int
 
-	// Cluster-only options (NewCluster): machine count and placement
-	// policy. New rejects them — a single Runtime has no fleet.
-	machines  int
-	placement *Placement
+	// Cluster-only options (NewCluster): machine count, placement
+	// policy, fault schedule and retry policy. New rejects them — a
+	// single Runtime has no fleet.
+	machines     int
+	placement    *Placement
+	faults       []FaultEvent
+	faultsSet    bool
+	retryBudget  int
+	retryBackoff Time
+	retrySet     bool
 }
 
 // Option configures a Runtime under construction. Options that can
@@ -217,6 +223,43 @@ func WithPlacement(p Placement) Option {
 			return err
 		}
 		s.placement = &v
+		return nil
+	}
+}
+
+// WithFaults installs a deterministic fault schedule for NewCluster:
+// each FaultEvent crashes, rejoins, slows or recovers one machine at
+// an explicit virtual time. Build schedules by hand or compile a named
+// plan with fault.Compile ("crash", "failslow", "blip"). Jobs evicted
+// by a crash are re-placed with bounded, seeded retries — see
+// WithRetryPolicy. Events are validated against the fleet size at
+// NewCluster time. Cluster-only: New returns an error if set.
+func WithFaults(events ...FaultEvent) Option {
+	return func(s *settings) error {
+		s.faults = append([]FaultEvent(nil), events...)
+		s.faultsSet = true
+		return nil
+	}
+}
+
+// WithRetryPolicy bounds crash recovery for NewCluster: a job evicted
+// by a machine crash is re-placed up to budget times, each attempt
+// delayed by a seeded, jittered exponential backoff starting at
+// backoff (doubling per retry). A job past its budget is failed with
+// ErrJobLost and counted in ClusterStats.Lost. Defaults: budget 3,
+// backoff 100µs. budget must be >= 1 and backoff >= 0.
+// Cluster-only: New returns an error if set.
+func WithRetryPolicy(budget int, backoff Time) Option {
+	return func(s *settings) error {
+		if budget < 1 {
+			return fmt.Errorf("hermes: retry budget must be at least 1, got %d", budget)
+		}
+		if backoff < 0 {
+			return fmt.Errorf("hermes: retry backoff must not be negative, got %v", backoff)
+		}
+		s.retryBudget = budget
+		s.retryBackoff = backoff
+		s.retrySet = true
 		return nil
 	}
 }

@@ -155,8 +155,8 @@ func New(opts ...Option) (*Runtime, error) {
 			return nil, err
 		}
 	}
-	if s.machines != 0 || s.placement != nil {
-		return nil, errors.New("hermes: WithMachines and WithPlacement apply to NewCluster, not New")
+	if s.machines != 0 || s.placement != nil || s.faultsSet || s.retrySet {
+		return nil, errors.New("hermes: WithMachines, WithPlacement, WithFaults and WithRetryPolicy apply to NewCluster, not New")
 	}
 	var sink *obs.Async
 	if s.asyncObs != nil {
