@@ -167,9 +167,21 @@ func (c *Cluster) Placement() Placement { return c.policy }
 
 // Submit enqueues root as a new job arriving at the engine's current
 // virtual time; the placement tier picks its machine at that instant.
-// Job.Wait returns the per-job Report.
-func (c *Cluster) Submit(ctx context.Context, root Task) (*Job, error) {
-	jobs, err := c.submit(ctx, []Arrival{{At: -1, Task: root}})
+// Job.Wait returns the per-job Report. Options stamp per-job
+// attributes (WithClass), exactly as on a Runtime; every machine's
+// intake applies the cluster's dispatch policy (WithDispatch) to the
+// classes it sees.
+func (c *Cluster) Submit(ctx context.Context, root Task, opts ...SubmitOption) (*Job, error) {
+	var so submitSettings
+	for _, o := range opts {
+		if o != nil {
+			o(&so)
+		}
+	}
+	if err := so.class.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := c.submit(ctx, []Arrival{{At: -1, Task: root, Class: so.class}})
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +221,7 @@ func (c *Cluster) submit(ctx context.Context, arrivals []Arrival) ([]*Job, error
 			ID:        j.ID(),
 			At:        a.At,
 			Root:      a.Task,
+			Class:     a.Class,
 			Cancelled: func() bool { return ctx.Err() != nil },
 			Done: func(rep core.Report, err error) {
 				if errors.Is(err, core.ErrInterrupted) {

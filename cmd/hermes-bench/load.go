@@ -18,6 +18,7 @@ import (
 
 	"hermes"
 	"hermes/internal/metrics"
+	"hermes/internal/sweep"
 	"hermes/internal/trace"
 	"hermes/internal/units"
 	"hermes/internal/workload"
@@ -41,6 +42,11 @@ type loadOpts struct {
 	Mode    string
 	Workers int
 	Buffer  int
+	// Dispatch names the intake dispatch policy ("" = fifo) and
+	// PreemptQuantum the ranked-dispatch preemption quantum. In-process
+	// only: a remote hermes-serve configures its own intake.
+	Dispatch       string
+	PreemptQuantum time.Duration
 
 	JSONPath string
 	Verbose  bool
@@ -53,7 +59,10 @@ type loadSummary struct {
 	Workload workload.Spec `json:"workload"`
 	// Trace is the arrival process, normalized so the default poisson
 	// process stays "" (byte-stable poisson-era artifacts).
-	Trace     string  `json:"trace,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	// Dispatch is the intake policy, normalized so the default fifo
+	// stays "" (byte-stable pre-class artifacts).
+	Dispatch  string  `json:"dispatch,omitempty"`
 	RPSTarget float64 `json:"rps_target"`
 	DurationS float64 `json:"duration_s"`
 	Submitted int64   `json:"submitted"`
@@ -81,10 +90,40 @@ type loadSummary struct {
 	PeakInflight     int64   `json:"peak_inflight"`
 	JoulesPerRequest float64 `json:"joules_per_request"`
 	DroppedEvents    uint64  `json:"dropped_events"`
+	// Classes breaks the run down per service class when the trace is
+	// mixed (any arrival carried a non-zero class); nil otherwise, so
+	// single-class summaries keep their pre-class bytes. The flat
+	// totals above always cover every class.
+	Classes []classSummary `json:"classes,omitempty"`
+}
+
+// classSummary is one service class's slice of a mixed-trace load run.
+type classSummary struct {
+	Tenant    string `json:"tenant"`
+	Priority  int    `json:"priority"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	Rejected  int64  `json:"rejected,omitempty"`
+	Retries   int64  `json:"retries,omitempty"`
+	Errors    int64  `json:"errors"`
+
+	P50SojournMS float64 `json:"p50_sojourn_ms"`
+	P95SojournMS float64 `json:"p95_sojourn_ms"`
+	P99SojournMS float64 `json:"p99_sojourn_ms"`
+
+	// SLOTargetMS echoes the class's sojourn target; SLOAttainment is
+	// the fraction of completed jobs that met it. Both absent for
+	// classes without a target.
+	SLOTargetMS   *float64 `json:"slo_target_ms,omitempty"`
+	SLOAttainment *float64 `json:"slo_attainment,omitempty"`
+
+	// JoulesPerRequest is per-class attributed energy; 0 (omitted)
+	// against an HTTP target, which only exposes the aggregate.
+	JoulesPerRequest float64 `json:"joules_per_request,omitempty"`
 }
 
 func (s loadSummary) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"load %s %s: rps=%.0f dur=%.1fs submitted=%d completed=%d (pruned %d) rejected=%d retries=%d errors=%d\n"+
 			"  throughput=%.1f req/s sojourn p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n"+
 			"  peak-inflight=%d joules/req=%.4f dropped-events=%d",
@@ -92,6 +131,17 @@ func (s loadSummary) String() string {
 		s.Rejected, s.Retries, s.Errors,
 		s.ThroughputRPS, s.P50SojournMS, s.P95SojournMS, s.P99SojournMS, s.MaxSojournMS,
 		s.PeakInflight, s.JoulesPerRequest, s.DroppedEvents)
+	for _, c := range s.Classes {
+		out += fmt.Sprintf(
+			"\n  class tenant=%q priority=%d: submitted=%d completed=%d rejected=%d retries=%d errors=%d "+
+				"p50=%.2fms p95=%.2fms p99=%.2fms",
+			c.Tenant, c.Priority, c.Submitted, c.Completed, c.Rejected, c.Retries, c.Errors,
+			c.P50SojournMS, c.P95SojournMS, c.P99SojournMS)
+		if c.SLOAttainment != nil {
+			out += fmt.Sprintf(" slo=%.1f%%", *c.SLOAttainment*100)
+		}
+	}
+	return out
 }
 
 // outcome classifies one request's fate.
@@ -106,11 +156,13 @@ const (
 )
 
 // target abstracts where requests go: a remote hermes-serve or an
-// in-process Runtime. do blocks from arrival to completion and
-// returns the request's attributed joules where the target knows it
-// per job (in-process), else 0 with energy recovered from metrics.
+// in-process Runtime. do blocks from arrival to completion, carrying
+// the request's service class to the target, and returns the 429
+// retries this request consumed plus its attributed joules where the
+// target knows them per job (in-process), else 0 with energy
+// recovered from metrics.
 type target interface {
-	do(spec workload.Spec) (outcome, error)
+	do(spec workload.Spec, class hermes.Class) (out outcome, retries int64, joules float64, err error)
 	// finish returns (joules attributed to completed requests, dropped events).
 	finish() (float64, uint64, error)
 	// stats returns (429 retry attempts, requests whose retry budget
@@ -143,6 +195,16 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	if err != nil {
 		return loadSummary{}, err
 	}
+	dispatch, err := hermes.ParseDispatch(opts.Dispatch)
+	if err != nil {
+		return loadSummary{}, err
+	}
+	if opts.PreemptQuantum < 0 {
+		return loadSummary{}, fmt.Errorf("load: preempt quantum must be non-negative, got %v", opts.PreemptQuantum)
+	}
+	if opts.URL != "" && (dispatch != hermes.DispatchFIFO || opts.PreemptQuantum > 0) {
+		return loadSummary{}, fmt.Errorf("load: -dispatch/-quantum shape the in-process runtime; a remote hermes-serve configures its own intake")
+	}
 
 	if opts.URL == "" && opts.Backend == "sim" {
 		// The simulator multiplexes jobs in virtual time: replay the
@@ -174,15 +236,40 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		tgt = t
 	}
 
+	// A mixed trace (any arrival with a non-zero class) gets the
+	// per-class breakdown; single-class traces skip it so their
+	// summaries keep pre-class bytes.
+	mixed := false
+	for _, pt := range points {
+		if !pt.Class.IsZero() {
+			mixed = true
+			break
+		}
+	}
+
 	var (
 		wg                  sync.WaitGroup
 		mu                  sync.Mutex
 		sojourns            []time.Duration
+		classes             map[hermes.Class]*wallClassAcc
 		submitted, rejected atomic.Int64
 		pruned              atomic.Int64
 		errs                atomic.Int64
 		inflight, peak      atomic.Int64
 	)
+	if mixed {
+		classes = make(map[hermes.Class]*wallClassAcc)
+	}
+	// classOf returns c's accumulator, creating it on first use.
+	// Callers hold mu.
+	classOf := func(c hermes.Class) *wallClassAcc {
+		acc := classes[c]
+		if acc == nil {
+			acc = &wallClassAcc{}
+			classes[c] = acc
+		}
+		return acc
+	}
 	start := time.Now()
 	for _, pt := range points {
 		due := start.Add(time.Duration(int64(pt.At / units.Nanosecond)))
@@ -190,7 +277,13 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 			time.Sleep(d)
 		}
 		spec := opts.Spec.Sized(pt.Size)
+		class := pt.Class
 		submitted.Add(1)
+		if mixed {
+			mu.Lock()
+			classOf(class).submitted++
+			mu.Unlock()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -199,21 +292,47 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 			}
 			defer inflight.Add(-1)
 			t0 := time.Now()
-			out, err := tgt.do(spec)
+			out, retries, joules, err := tgt.do(spec, class)
+			var acc *wallClassAcc
+			if mixed {
+				mu.Lock()
+				acc = classOf(class)
+				acc.retries += retries
+				acc.joules += joules
+				mu.Unlock()
+			}
 			switch {
 			case err != nil:
 				errs.Add(1)
+				if acc != nil {
+					mu.Lock()
+					acc.errors++
+					mu.Unlock()
+				}
 				if opts.Verbose {
 					fmt.Fprintf(os.Stderr, "load: request error: %v\n", err)
 				}
 			case out == outcomeRejected:
 				rejected.Add(1)
+				if acc != nil {
+					mu.Lock()
+					acc.rejected++
+					mu.Unlock()
+				}
 			case out == outcomePruned:
 				pruned.Add(1)
+				if acc != nil {
+					mu.Lock()
+					acc.pruned++
+					mu.Unlock()
+				}
 			default:
 				d := time.Since(t0)
 				mu.Lock()
 				sojourns = append(sojourns, d)
+				if acc != nil {
+					acc.sojourns = append(acc.sojourns, d)
+				}
 				mu.Unlock()
 			}
 		}()
@@ -235,6 +354,7 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 		Target:        tgt.name(),
 		Workload:      opts.Spec,
 		Trace:         trace.Canonical(proc.Name),
+		Dispatch:      sweep.CanonicalDispatch(dispatch),
 		RPSTarget:     opts.RPS,
 		DurationS:     elapsed.Seconds(),
 		Submitted:     submitted.Load(),
@@ -255,7 +375,82 @@ func runLoad(opts loadOpts) (loadSummary, error) {
 	if completed > 0 {
 		sum.JoulesPerRequest = joules / float64(completed)
 	}
+	sum.Classes = classSummaries(classes)
 	return sum, nil
+}
+
+// wallClassAcc accumulates one service class's wall-clock run.
+type wallClassAcc struct {
+	submitted, rejected int64
+	pruned, errors      int64
+	retries             int64
+	joules              float64
+	sojourns            []time.Duration
+}
+
+// classSummaries folds the per-class accumulators into deterministic
+// summary rows: priority descending (latency-critical first), then
+// tenant, deadline, SLO target ascending — the same order the sweep's
+// per-class artifact uses. Nil in, nil out.
+func classSummaries(classes map[hermes.Class]*wallClassAcc) []classSummary {
+	if len(classes) == 0 {
+		return nil
+	}
+	order := make([]hermes.Class, 0, len(classes))
+	for c := range classes {
+		order = append(order, c)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return a.SLOTarget < b.SLOTarget
+	})
+	rows := make([]classSummary, 0, len(order))
+	for _, c := range order {
+		acc := classes[c]
+		sort.Slice(acc.sojourns, func(i, j int) bool { return acc.sojourns[i] < acc.sojourns[j] })
+		completed := int64(len(acc.sojourns)) + acc.pruned
+		row := classSummary{
+			Tenant:       c.Tenant,
+			Priority:     c.Priority,
+			Submitted:    acc.submitted,
+			Completed:    completed,
+			Rejected:     acc.rejected,
+			Retries:      acc.retries,
+			Errors:       acc.errors,
+			P50SojournMS: percentileMS(acc.sojourns, 0.50),
+			P95SojournMS: percentileMS(acc.sojourns, 0.95),
+			P99SojournMS: percentileMS(acc.sojourns, 0.99),
+		}
+		if c.SLOTarget > 0 {
+			target := time.Duration(int64(c.SLOTarget / units.Nanosecond))
+			met := 0
+			for _, d := range acc.sojourns {
+				if d <= target {
+					met++
+				}
+			}
+			targetMS := float64(target.Nanoseconds()) / 1e6
+			row.SLOTargetMS = &targetMS
+			if n := len(acc.sojourns); n > 0 {
+				att := float64(met) / float64(n)
+				row.SLOAttainment = &att
+			}
+		}
+		if completed > 0 {
+			row.JoulesPerRequest = acc.joules / float64(completed)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // percentileMS returns the p-quantile (0..1) of sorted durations in
@@ -307,6 +502,10 @@ func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 	if err != nil {
 		return nil, err
 	}
+	dispatch, err := hermes.ParseDispatch(opts.Dispatch)
+	if err != nil {
+		return nil, err
+	}
 	reg := metrics.New()
 	hopts := []hermes.Option{
 		hermes.WithBackend(be),
@@ -315,6 +514,12 @@ func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 	}
 	if opts.Workers > 0 {
 		hopts = append(hopts, hermes.WithWorkers(opts.Workers))
+	}
+	if dispatch != hermes.DispatchFIFO {
+		hopts = append(hopts, hermes.WithDispatch(dispatch))
+	}
+	if opts.PreemptQuantum > 0 {
+		hopts = append(hopts, hermes.WithPreemptQuantum(units.Time(opts.PreemptQuantum)*units.Nanosecond))
 	}
 	rt, err := hermes.New(hopts...)
 	if err != nil {
@@ -326,19 +531,23 @@ func newInprocTarget(opts loadOpts) (*inprocTarget, error) {
 
 func (t *inprocTarget) name() string { return "in-process/" + t.rt.Backend().String() }
 
-func (t *inprocTarget) do(spec workload.Spec) (outcome, error) {
+func (t *inprocTarget) do(spec workload.Spec, class hermes.Class) (outcome, int64, float64, error) {
 	task, _, err := spec.Task()
 	if err != nil {
-		return outcomeOK, err
+		return outcomeOK, 0, 0, err
 	}
-	rep, err := t.rt.Run(context.Background(), task)
+	j, err := t.rt.Submit(context.Background(), task, hermes.WithClass(class))
 	if err != nil {
-		return outcomeOK, err
+		return outcomeOK, 0, 0, err
+	}
+	rep, err := j.Wait()
+	if err != nil {
+		return outcomeOK, 0, 0, err
 	}
 	t.mu.Lock()
 	t.sumJ += rep.EnergyJ
 	t.mu.Unlock()
-	return outcomeOK, nil
+	return outcomeOK, 0, rep.EnergyJ, nil
 }
 
 func (t *inprocTarget) finish() (float64, uint64, error) {
@@ -443,18 +652,26 @@ func (t *httpTarget) prime() error {
 // 2 ms poll-interval bias and idle polling disappears.
 const statusWait = 5 * time.Second
 
-func (t *httpTarget) do(spec workload.Spec) (outcome, error) {
+func (t *httpTarget) do(spec workload.Spec, class hermes.Class) (outcome, int64, float64, error) {
 	if err := t.prime(); err != nil {
-		return outcomeOK, err
+		return outcomeOK, 0, 0, err
 	}
-	body, err := json.Marshal(spec)
+	// The submit body embeds the spec so unclassed requests serialize
+	// exactly as the pre-class client did; tenant and priority ride
+	// along only when set.
+	body, err := json.Marshal(struct {
+		workload.Spec
+		Tenant   string `json:"tenant,omitempty"`
+		Priority int    `json:"priority,omitempty"`
+	}{Spec: spec, Tenant: class.Tenant, Priority: class.Priority})
 	if err != nil {
-		return outcomeOK, err
+		return outcomeOK, 0, 0, err
 	}
+	var retried int64
 	for attempt := 0; ; attempt++ {
 		resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return outcomeOK, err
+			return outcomeOK, retried, 0, err
 		}
 		rb, _ := io.ReadAll(resp.Body)
 		retryAfter := resp.Header.Get("Retry-After")
@@ -462,22 +679,24 @@ func (t *httpTarget) do(spec workload.Spec) (outcome, error) {
 		if resp.StatusCode == http.StatusTooManyRequests {
 			if attempt == submitAttempts-1 {
 				t.gaveUp.Add(1)
-				return outcomeRejected, nil
+				return outcomeRejected, retried, 0, nil
 			}
 			t.retries.Add(1)
+			retried++
 			time.Sleep(t.retryDelay(attempt, retryAfter))
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return outcomeOK, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+			return outcomeOK, retried, 0, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
 		}
 		var acc struct {
 			ID int64 `json:"id"`
 		}
 		if err := json.Unmarshal(rb, &acc); err != nil {
-			return outcomeOK, err
+			return outcomeOK, retried, 0, err
 		}
-		return t.poll(acc.ID)
+		out, err := t.poll(acc.ID)
+		return out, retried, 0, err
 	}
 }
 

@@ -81,10 +81,14 @@ func main() {
 		faults     = flag.String("faults", "",
 			"cluster sweep: comma-separated fault plans ("+strings.Join(fault.Names(), ", ")+"; empty = fault-free)")
 		kneeFactor = flag.Float64("kneefactor", sweep.DefaultKneeFactor, "sweep: knee threshold as a multiple of the unloaded p50 sojourn")
-		rps        = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
-		duration   = flag.Duration("duration", 10*time.Second, "load: arrival window")
-		url        = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
-		kind       = flag.String("workload", "ticks",
+		dispatch   = flag.String("dispatch", "",
+			"load/sweep: intake dispatch policy (fifo, priority, edf; empty = fifo)")
+		quantum = flag.Duration("quantum", 0,
+			"load/sweep: preemption quantum under ranked dispatch (0 = jobs run to completion)")
+		rps      = flag.Float64("rps", 100, "load: target arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "load: arrival window")
+		url      = flag.String("url", "", "load: hermes-serve base URL (empty = in-process Runtime)")
+		kind     = flag.String("workload", "ticks",
 			"load/sweep: workload kind ("+strings.Join(workload.Names(), ", ")+")")
 		traceName = flag.String("trace", "",
 			"load/sweep: arrival process ("+strings.Join(trace.Names(), ", ")+"; empty = poisson)")
@@ -125,20 +129,22 @@ func main() {
 				Kind: *kind, N: *n, Grain: *grain,
 				Work: units.Cycles(*work), MemFrac: *memfrac,
 			},
-			Trace:      *traceName,
-			Rates:      *rates,
-			Modes:      *modes,
-			Machines:   *machines,
-			Placement:  *placement,
-			Faults:     *faults,
-			Window:     *duration,
-			Seed:       *seed,
-			Trials:     *trials,
-			Workers:    *workers,
-			KneeFactor: *kneeFactor,
-			JSONPath:   *jsonPath,
-			CSVDir:     *csvDir,
-			Verbose:    *verbose,
+			Trace:          *traceName,
+			Rates:          *rates,
+			Modes:          *modes,
+			Machines:       *machines,
+			Placement:      *placement,
+			Faults:         *faults,
+			Window:         *duration,
+			Seed:           *seed,
+			Trials:         *trials,
+			Workers:        *workers,
+			KneeFactor:     *kneeFactor,
+			Dispatch:       *dispatch,
+			PreemptQuantum: *quantum,
+			JSONPath:       *jsonPath,
+			CSVDir:         *csvDir,
+			Verbose:        *verbose,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)
@@ -156,13 +162,15 @@ func main() {
 				Kind: *kind, N: *n, Grain: *grain,
 				Work: units.Cycles(*work), MemFrac: *memfrac,
 			},
-			Trace:   *traceName,
-			Seed:    *seed,
-			Backend: *backend,
-			Mode:    *mode,
-			Workers: *workers,
-			Buffer:  *buffer,
-			Verbose: *verbose,
+			Trace:          *traceName,
+			Seed:           *seed,
+			Backend:        *backend,
+			Mode:           *mode,
+			Workers:        *workers,
+			Buffer:         *buffer,
+			Dispatch:       *dispatch,
+			PreemptQuantum: *quantum,
+			Verbose:        *verbose,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hermes-bench: %v\n", err)

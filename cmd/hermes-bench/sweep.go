@@ -29,9 +29,13 @@ type sweepOpts struct {
 	Trials     int
 	Workers    int
 	KneeFactor float64
-	JSONPath   string
-	CSVDir     string
-	Verbose    bool
+	// Dispatch names the intake dispatch policy ("" = fifo);
+	// PreemptQuantum is the ranked-dispatch preemption quantum.
+	Dispatch       string
+	PreemptQuantum time.Duration
+	JSONPath       string
+	CSVDir         string
+	Verbose        bool
 }
 
 // splitCommaList splits a comma-separated flag value, trimming blanks.
@@ -159,15 +163,17 @@ func runSweep(opts sweepOpts) error {
 		return runClusterSweep(opts, rates, modes)
 	}
 	cfg := sweep.Config{
-		Workload:   opts.Spec,
-		Trace:      opts.Trace,
-		Modes:      modes,
-		RatesRPS:   rates,
-		Window:     opts.Window,
-		Seed:       opts.Seed,
-		Trials:     opts.Trials,
-		Workers:    opts.Workers,
-		KneeFactor: opts.KneeFactor,
+		Workload:       opts.Spec,
+		Trace:          opts.Trace,
+		Modes:          modes,
+		RatesRPS:       rates,
+		Window:         opts.Window,
+		Seed:           opts.Seed,
+		Trials:         opts.Trials,
+		Workers:        opts.Workers,
+		KneeFactor:     opts.KneeFactor,
+		Dispatch:       opts.Dispatch,
+		PreemptQuantum: opts.PreemptQuantum,
 	}
 	if opts.Verbose {
 		cfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
@@ -187,6 +193,14 @@ func runSweep(opts sweepOpts) error {
 		path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_%s.csv", res.Workload.Kind))
 		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 			return err
+		}
+		// Mixed traces additionally get the per-class breakdown; single
+		// class traces write exactly the pre-tenancy file set.
+		if cc := res.ClassCSV(); cc != "" {
+			path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_classes_%s.csv", res.Workload.Kind))
+			if err := os.WriteFile(path, []byte(cc), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -212,18 +226,20 @@ func runClusterSweep(opts sweepOpts, rates []float64, modes []hermes.Mode) error
 		return err
 	}
 	cfg := sweep.ClusterConfig{
-		Workload:   opts.Spec,
-		Trace:      opts.Trace,
-		Faults:     plans,
-		Mode:       modes[0],
-		Policies:   policies,
-		Machines:   machines,
-		RatesRPS:   rates,
-		Window:     opts.Window,
-		Seed:       opts.Seed,
-		Trials:     opts.Trials,
-		Workers:    opts.Workers,
-		KneeFactor: opts.KneeFactor,
+		Workload:       opts.Spec,
+		Trace:          opts.Trace,
+		Faults:         plans,
+		Mode:           modes[0],
+		Policies:       policies,
+		Machines:       machines,
+		RatesRPS:       rates,
+		Window:         opts.Window,
+		Seed:           opts.Seed,
+		Trials:         opts.Trials,
+		Workers:        opts.Workers,
+		KneeFactor:     opts.KneeFactor,
+		Dispatch:       opts.Dispatch,
+		PreemptQuantum: opts.PreemptQuantum,
 	}
 	if opts.Verbose {
 		cfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
@@ -243,6 +259,12 @@ func runClusterSweep(opts sweepOpts, rates []float64, modes []hermes.Mode) error
 		path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_cluster_%s.csv", res.Workload.Kind))
 		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 			return err
+		}
+		if cc := res.ClassCSV(); cc != "" {
+			path := filepath.Join(opts.CSVDir, fmt.Sprintf("sweep_cluster_classes_%s.csv", res.Workload.Kind))
+			if err := os.WriteFile(path, []byte(cc), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -32,15 +32,24 @@ func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 	if err != nil {
 		return loadSummary{}, err
 	}
+	dispatch, err := hermes.ParseDispatch(opts.Dispatch)
+	if err != nil {
+		return loadSummary{}, err
+	}
+	if opts.PreemptQuantum < 0 {
+		return loadSummary{}, fmt.Errorf("load: preempt quantum must be non-negative, got %v", opts.PreemptQuantum)
+	}
 	pcfg := sweep.PointConfig{
-		Workload: opts.Spec,
-		Trace:    opts.Trace,
-		Mode:     mode,
-		RPS:      opts.RPS,
-		Window:   opts.Duration,
-		Seed:     opts.Seed,
-		Trials:   1,
-		Workers:  opts.Workers,
+		Workload:       opts.Spec,
+		Trace:          opts.Trace,
+		Mode:           mode,
+		RPS:            opts.RPS,
+		Window:         opts.Duration,
+		Seed:           opts.Seed,
+		Trials:         1,
+		Workers:        opts.Workers,
+		Dispatch:       opts.Dispatch,
+		PreemptQuantum: opts.PreemptQuantum,
 	}
 	if opts.Verbose {
 		pcfg.Log = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
@@ -53,6 +62,7 @@ func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 		Target:           "in-process/sim-virtual",
 		Workload:         opts.Spec,
 		Trace:            trace.Canonical(opts.Trace),
+		Dispatch:         sweep.CanonicalDispatch(dispatch),
 		RPSTarget:        opts.RPS,
 		DurationS:        pt.MakespanS,
 		Submitted:        pt.Arrivals,
@@ -66,6 +76,24 @@ func runVirtualLoad(opts loadOpts) (loadSummary, error) {
 		PeakInflight:     pt.PeakInflight,
 		JoulesPerRequest: pt.JoulesPerRequest,
 		DroppedEvents:    pt.DroppedEvents,
+	}
+	// A mixed trace carries the point-runner's per-class rows through
+	// to the summary; single-class traces leave Classes nil and keep
+	// their pre-class JSON bytes.
+	for _, c := range pt.Classes {
+		sum.Classes = append(sum.Classes, classSummary{
+			Tenant:           c.Tenant,
+			Priority:         c.Priority,
+			Submitted:        c.Arrivals,
+			Completed:        c.Completed,
+			Errors:           c.Errors,
+			P50SojournMS:     c.P50SojournMS,
+			P95SojournMS:     c.P95SojournMS,
+			P99SojournMS:     c.P99SojournMS,
+			SLOTargetMS:      c.SLOTargetMS,
+			SLOAttainment:    c.SLOAttainment,
+			JoulesPerRequest: c.JoulesPerRequest,
+		})
 	}
 	return sum, nil
 }

@@ -40,6 +40,15 @@ var selftestSeries = []string{
 	`hermes_jobs_submitted_total{workload="matmul"}`,
 	`hermes_jobs_submitted_total{workload="ticks"}`,
 	`hermes_job_latency_seconds_count{workload="fib"}`,
+	// Class-labeled series: the selftest submits one ticks job per
+	// service class below, and each must land in its own
+	// (workload, tenant, priority) series while the unclassed ticks
+	// series above stays label-compatible with pre-tenancy scrapes.
+	`hermes_jobs_submitted_total{workload="ticks",tenant="batch",priority="0"}`,
+	`hermes_jobs_submitted_total{workload="ticks",tenant="lc",priority="1"}`,
+	`hermes_jobs_submitted_total{workload="ticks",tenant="lc",priority="2"}`,
+	`hermes_job_latency_seconds_count{workload="ticks",tenant="lc",priority="1"}`,
+	"hermes_control_shed_floor",
 }
 
 // selftestModel writes a synthetic sweep artifact to a temp file: one
@@ -179,12 +188,74 @@ func runSelftest(mode string, workers int) error {
 		fmt.Printf("selftest: submitted %s -> job %d\n", spec, id)
 		ids = append(ids, id)
 	}
+
+	// Service classes: one job per priority class, so the scrape below
+	// can assert the class-labeled series exist alongside the unclassed
+	// ones.
+	classSubmits := []struct {
+		tenant   string
+		priority int
+	}{
+		{"batch", 0},
+		{"lc", 1},
+		{"lc", 2},
+	}
+	for _, cs := range classSubmits {
+		spec := fmt.Sprintf(`{"workload":"ticks","tenant":%q,"priority":%d}`, cs.tenant, cs.priority)
+		id, err := submit(base, spec)
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", spec, err)
+		}
+		fmt.Printf("selftest: submitted %s -> job %d\n", spec, id)
+		ids = append(ids, id)
+	}
+
 	for _, id := range ids {
 		if err := pollDone(base, id, 60*time.Second); err != nil {
 			return fmt.Errorf("job %d: %w", id, err)
 		}
 		fmt.Printf("selftest: job %d done\n", id)
 	}
+
+	// The tenant filter composes with the index: the lc jobs and only
+	// they come back, and an unknown tenant yields an empty list (200,
+	// not 400 — tenants are free-form).
+	idxBody, err := get(base + "/jobs?tenant=lc")
+	if err != nil {
+		return fmt.Errorf("jobs?tenant=lc: %w", err)
+	}
+	var idxOut struct {
+		Count int `json:"count"`
+		Jobs  []struct {
+			ID     int64  `json:"id"`
+			Tenant string `json:"tenant"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(idxBody), &idxOut); err != nil {
+		return fmt.Errorf("jobs?tenant=lc: %w", err)
+	}
+	if idxOut.Count != 2 {
+		return fmt.Errorf("jobs?tenant=lc: got %d rows, want 2", idxOut.Count)
+	}
+	for _, row := range idxOut.Jobs {
+		if row.Tenant != "lc" {
+			return fmt.Errorf("jobs?tenant=lc: row %d has tenant %q", row.ID, row.Tenant)
+		}
+	}
+	emptyBody, err := get(base + "/jobs?tenant=nobody")
+	if err != nil {
+		return fmt.Errorf("jobs?tenant=nobody: %w", err)
+	}
+	var emptyOut struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(emptyBody), &emptyOut); err != nil {
+		return fmt.Errorf("jobs?tenant=nobody: %w", err)
+	}
+	if emptyOut.Count != 0 {
+		return fmt.Errorf("jobs?tenant=nobody: got %d rows, want 0", emptyOut.Count)
+	}
+	fmt.Printf("selftest: /jobs?tenant= filter OK (2 lc rows, unknown tenant empty)\n")
 
 	// A rejected bad spec must 400, not enqueue garbage.
 	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(`{"workload":"nope"}`))

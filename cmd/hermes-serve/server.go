@@ -78,6 +78,7 @@ const maxStatusWait = 30 * time.Second
 // jobRecord tracks one submitted job from HTTP accept to completion.
 type jobRecord struct {
 	spec      workload.Spec
+	class     hermes.Class
 	submitted time.Time
 	j         *hermes.Job
 
@@ -141,25 +142,39 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// submitRequest is the POST /jobs body: a workload spec plus the
+// optional service class (tenant, priority). Both default to the
+// unclassed job, so every pre-tenancy client body still parses.
+type submitRequest struct {
+	workload.Spec
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec workload.Spec
+	var req submitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
-	task, spec, err := spec.Task()
+	if req.Priority < 0 {
+		writeError(w, http.StatusBadRequest, "bad priority %d (must be non-negative)", req.Priority)
+		return
+	}
+	task, spec, err := req.Spec.Task()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	class := hermes.Class{Tenant: req.Tenant, Priority: req.Priority}
 
 	// Admission control, two layers: the knee-aware controller sheds
-	// when live signals say the machine is past its calibrated
-	// capacity; the in-flight semaphore is the hard backstop either
-	// way.
-	if s.ctl != nil && !s.ctl.Admit() {
+	// lowest-priority-first when live signals say the machine is past
+	// its calibrated capacity; the in-flight semaphore is the hard
+	// backstop either way.
+	if s.ctl != nil && !s.ctl.AdmitPriority(req.Priority) {
 		shedError(w)
 		return
 	}
@@ -182,8 +197,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.jobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
 	}
-	rec := &jobRecord{spec: spec, submitted: time.Now()}
-	j, err := s.rt.Submit(ctx, task)
+	rec := &jobRecord{spec: spec, class: class, submitted: time.Now()}
+	j, err := s.rt.Submit(ctx, task, hermes.WithClass(class))
 	if err != nil {
 		cancel()
 		<-s.inflight
@@ -198,8 +213,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	// Label the submission series and this job's latency observation
-	// by workload kind, and capture the arrival for /capacity replays.
-	s.reg.JobSubmitted(j.ID(), spec.Kind)
+	// by workload kind and service class, and capture the arrival for
+	// /capacity replays.
+	s.reg.JobSubmittedClass(j.ID(), spec.Kind, class.Tenant, class.Priority)
 	if s.trace != nil {
 		s.trace.record(spec)
 	}
@@ -210,22 +226,33 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		<-s.inflight
 		s.pruneDone(j.ID())
 	}()
-	writeJSON(w, http.StatusAccepted, map[string]any{
+	resp := map[string]any{
 		"id":       j.ID(),
 		"status":   "running",
 		"workload": spec,
 		"href":     fmt.Sprintf("/jobs/%d", j.ID()),
-	})
+	}
+	// Classed submissions echo the class back; unclassed responses keep
+	// the pre-tenancy body shape.
+	if !class.IsZero() {
+		resp["tenant"] = class.Tenant
+		resp["priority"] = class.Priority
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // jobStatusJSON is the GET /jobs/{id} response body.
 type jobStatusJSON struct {
-	ID        int64         `json:"id"`
-	Status    string        `json:"status"` // running | done | failed | pruned | unknown
-	Workload  workload.Spec `json:"workload"`
-	SojournMS float64       `json:"sojourn_ms,omitempty"`
-	Error     string        `json:"error,omitempty"`
-	Report    *reportOut    `json:"report,omitempty"`
+	ID       int64         `json:"id"`
+	Status   string        `json:"status"` // running | done | failed | pruned | unknown
+	Workload workload.Spec `json:"workload"`
+	// Tenant and Priority echo the job's service class; omitted for
+	// unclassed jobs so pre-tenancy bodies are unchanged.
+	Tenant    string     `json:"tenant,omitempty"`
+	Priority  int        `json:"priority,omitempty"`
+	SojournMS float64    `json:"sojourn_ms,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Report    *reportOut `json:"report,omitempty"`
 }
 
 // reportOut is the wire shape of a completed job's hermes.Report.
@@ -305,7 +332,8 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		t.Stop()
 	}
-	out := jobStatusJSON{ID: id, Status: "running", Workload: rec.spec}
+	out := jobStatusJSON{ID: id, Status: "running", Workload: rec.spec,
+		Tenant: rec.class.Tenant, Priority: rec.class.Priority}
 	if rep, jobErr, done := rec.j.Report(); done {
 		out.Status = "done"
 		if jobErr != nil {
@@ -340,6 +368,10 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 type jobIndexEntry struct {
 	ID       int64  `json:"id"`
 	Workload string `json:"workload"`
+	// Tenant and Priority are the job's service class; omitted for
+	// unclassed jobs so pre-tenancy rows are unchanged.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	Status   string `json:"status"` // running | done | failed
 	// SojournMS is the HTTP layer's wall-clock accept-to-finish
 	// latency, present once the job is done (the same quantity GET
@@ -367,9 +399,11 @@ type jobIndexJSON struct {
 // plus completed ones inside the bounded retention window — sorted by
 // id ascending, scrape-friendly by construction: the response size is
 // bounded by max-inflight + the retention window regardless of uptime.
-// ?status=running|done|failed and ?workload=<registered kind> filter
-// rows (they compose); ?limit=N keeps only the N highest-id (most
-// recent) matching rows.
+// ?status=running|done|failed, ?workload=<registered kind> and
+// ?tenant=<service-class tenant> filter rows (they compose); ?limit=N
+// keeps only the N highest-id (most recent) matching rows. Tenants are
+// free-form client strings with no registry to validate against, so an
+// unknown tenant yields an empty list, not a 400.
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	statusFilter := r.URL.Query().Get("status")
 	switch statusFilter {
@@ -378,6 +412,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad status filter %q (want running, done or failed)", statusFilter)
 		return
 	}
+	tenantFilter := r.URL.Query().Get("tenant")
+	filterTenant := r.URL.Query().Has("tenant")
 	workloadFilter := r.URL.Query().Get("workload")
 	if workloadFilter != "" {
 		if _, ok := workload.Lookup(workloadFilter); !ok {
@@ -412,7 +448,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 	entries := make([]jobIndexEntry, 0, len(recs))
 	for _, ir := range recs {
-		e := jobIndexEntry{ID: ir.id, Workload: ir.rec.spec.Kind, Status: "running"}
+		e := jobIndexEntry{ID: ir.id, Workload: ir.rec.spec.Kind, Status: "running",
+			Tenant: ir.rec.class.Tenant, Priority: ir.rec.class.Priority}
 		if _, jobErr, done := ir.rec.j.Report(); done {
 			e.Status = "done"
 			if jobErr != nil {
@@ -429,6 +466,9 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if workloadFilter != "" && e.Workload != workloadFilter {
+			continue
+		}
+		if filterTenant && e.Tenant != tenantFilter {
 			continue
 		}
 		entries = append(entries, e)

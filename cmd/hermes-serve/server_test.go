@@ -390,10 +390,14 @@ func TestPerWorkloadMetricsLabels(t *testing.T) {
 
 func TestMetricsSeriesPresent(t *testing.T) {
 	ts, _ := newTestServer(t, 8, 1<<12)
-	// One job per workload kind: selftestSeries includes the labeled
-	// per-kind families.
+	// One job per workload kind plus one per service class:
+	// selftestSeries includes the labeled per-kind families and the
+	// class-labeled (workload, tenant, priority) families.
 	for _, spec := range []string{
 		`{"workload":"fib","n":12}`, `{"workload":"matmul","n":24}`, `{"workload":"ticks","n":16}`,
+		`{"workload":"ticks","n":16,"tenant":"batch"}`,
+		`{"workload":"ticks","n":16,"tenant":"lc","priority":1}`,
+		`{"workload":"ticks","n":16,"tenant":"lc","priority":2}`,
 	} {
 		id, _ := postJob(t, ts.URL, spec)
 		waitDone(t, ts.URL, id, 30*time.Second)

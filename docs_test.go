@@ -15,7 +15,7 @@ import (
 
 // docFiles are the markdown documents whose fenced Go snippets must be
 // gofmt-clean — the ones that teach the API.
-var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/serving.md", "docs/workloads.md", "docs/faults.md"}
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/serving.md", "docs/workloads.md", "docs/faults.md", "docs/tenancy.md"}
 
 // goFence matches a fenced Go code block and captures its body.
 var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")

@@ -101,6 +101,28 @@ const (
 	Dynamic = core.Dynamic
 )
 
+// Class is a job's service class: tenant label, scheduling priority,
+// optional deadline and SLO target. The zero Class is unclassed
+// traffic — exactly the pre-class behaviour. Attach with WithClass
+// (Submit) or Arrival.Class (SubmitTrace).
+type Class = core.Class
+
+// Dispatch selects how a machine's intake orders ready jobs
+// (WithDispatch).
+type Dispatch = core.Dispatch
+
+// Dispatch policies (Config.Dispatch, WithDispatch).
+const (
+	// DispatchFIFO serves ready jobs in delivery order — the
+	// class-blind default, byte-identical to the pre-class runtime.
+	DispatchFIFO = core.DispatchFIFO
+	// DispatchPriority serves the highest Class.Priority first.
+	DispatchPriority = core.DispatchPriority
+	// DispatchEDF serves the earliest absolute deadline first;
+	// deadline-less jobs run after every deadlined one.
+	DispatchEDF = core.DispatchEDF
+)
+
 // DequeKind selects the work-stealing deque implementation.
 type DequeKind = core.DequeKind
 

@@ -99,6 +99,17 @@ type Controller struct {
 	offered atomic.Int64 // Admit calls
 	shed    atomic.Int64 // Admit rejections
 
+	// shedFloor is the highest service-class priority currently being
+	// shed: while Shedding, requests with priority <= shedFloor are
+	// refused and higher classes pass. It starts at 0 (only the
+	// default class sheds) and escalates one class at a time while
+	// pressure persists — lowest-priority-first, by construction.
+	shedFloor atomic.Int32
+	// prioMax is the highest priority observed across Admit calls, the
+	// escalation ceiling: shedding every class the server has actually
+	// seen is maximal shedding.
+	prioMax atomic.Int32
+
 	mu          sync.Mutex
 	reason      string // why Disabled ("" when enabled)
 	mode        string // current tempo mode name
@@ -172,13 +183,29 @@ func (c *Controller) Enabled() bool { return State(c.state.Load()) != Disabled }
 // State returns the current admission state.
 func (c *Controller) State() State { return State(c.state.Load()) }
 
-// Admit decides one incoming request: true admits it, false tells the
-// server to shed it (429). Every call counts toward the offered-rate
-// signal, shed or not — the controller must see the load it is
-// refusing, or it could never recover.
-func (c *Controller) Admit() bool {
+// Admit decides one incoming request of the default (priority 0)
+// service class: true admits it, false tells the server to shed it
+// (429). Every call counts toward the offered-rate signal, shed or not
+// — the controller must see the load it is refusing, or it could never
+// recover.
+func (c *Controller) Admit() bool { return c.AdmitPriority(0) }
+
+// AdmitPriority decides one incoming request carrying a service-class
+// priority. Shedding is lowest-priority-first: while the controller is
+// over the knee it refuses classes up to the current shed floor, which
+// starts at the default class (0) and escalates one class per entry
+// debounce while pressure persists — so latency-critical traffic is
+// the last to be turned away.
+func (c *Controller) AdmitPriority(priority int) bool {
 	c.offered.Add(1)
-	if State(c.state.Load()) == Shedding {
+	p := int32(priority)
+	for {
+		seen := c.prioMax.Load()
+		if p <= seen || c.prioMax.CompareAndSwap(seen, p) {
+			break
+		}
+	}
+	if State(c.state.Load()) == Shedding && p <= c.shedFloor.Load() {
 		c.shed.Add(1)
 		return false
 	}
@@ -227,6 +254,23 @@ func (c *Controller) Tick(dt time.Duration) {
 			}
 		} else {
 			c.calmStreak = 0
+			// Still over the knee with the current classes shed:
+			// escalate the floor one priority class at a time, after the
+			// same debounce as entry, until every class the server has
+			// seen is shedding. Lower classes always shed before higher.
+			if over {
+				c.tripStreak++
+				if c.tripStreak >= c.cfg.EnterTicks && c.shedFloor.Load() < c.prioMax.Load() {
+					c.tripStreak = 0
+					floor := c.shedFloor.Add(1)
+					if c.cfg.Log != nil {
+						c.cfg.Log("control: shedding escalated to priority <= %d (offered %.1f rps, p99 %.1f ms)",
+							floor, c.liveRPS, c.liveP99MS)
+					}
+				}
+			} else {
+				c.tripStreak = 0
+			}
 		}
 	case Recovered:
 		if over {
@@ -251,6 +295,11 @@ func (c *Controller) transitionLocked(next State) {
 	prev := State(c.state.Load())
 	c.state.Store(int32(next))
 	c.tripStreak, c.calmStreak = 0, 0
+	if next != Shedding {
+		// Leaving Shedding de-escalates completely: the next episode
+		// starts over from the default class.
+		c.shedFloor.Store(0)
+	}
 	if c.cfg.Log != nil {
 		c.cfg.Log("control: %v -> %v (offered %.1f rps, p99 %.1f ms; knee %.1f rps, %.1f ms)",
 			prev, next, c.liveRPS, c.liveP99MS, c.kneeRPS, c.kneeLatMS)
@@ -334,6 +383,12 @@ type Status struct {
 	Shed         int64 `json:"shed_total"`
 	ModeSwitches int64 `json:"mode_switches_total"`
 	Ticks        int64 `json:"ticks"`
+
+	// ShedFloor is the highest priority class currently refused while
+	// shedding (meaningful only in the shedding state); MaxPriority the
+	// highest class the controller has seen.
+	ShedFloor   int `json:"shed_floor"`
+	MaxPriority int `json:"max_priority"`
 }
 
 // Status returns a consistent snapshot of the controller.
@@ -353,6 +408,8 @@ func (c *Controller) Status() Status {
 		Shed:          c.shed.Load(),
 		ModeSwitches:  c.switches,
 		Ticks:         c.ticks,
+		ShedFloor:     int(c.shedFloor.Load()),
+		MaxPriority:   int(c.prioMax.Load()),
 	}
 	if c.cfg.Model != nil {
 		s.ModelPath = c.cfg.Model.Path
@@ -384,5 +441,6 @@ func (c *Controller) WritePrometheus(w io.Writer) error {
 	p("# HELP hermes_control_offered_total Requests seen by the admission controller.\n# TYPE hermes_control_offered_total counter\nhermes_control_offered_total %d\n", s.Offered)
 	p("# HELP hermes_control_shed_total Requests shed while over the knee.\n# TYPE hermes_control_shed_total counter\nhermes_control_shed_total %d\n", s.Shed)
 	p("# HELP hermes_control_mode_switches_total Tempo-mode switches actuated by the controller.\n# TYPE hermes_control_mode_switches_total counter\nhermes_control_mode_switches_total %d\n", s.ModeSwitches)
+	p("# HELP hermes_control_shed_floor Highest service-class priority currently shed (lowest-priority-first).\n# TYPE hermes_control_shed_floor gauge\nhermes_control_shed_floor %d\n", s.ShedFloor)
 	return err
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"hermes/internal/units"
+)
+
+// Class is a job's service class: who submitted it (tenant), how it
+// ranks against other traffic (priority), and what latency it was
+// promised (deadline, SLO target). The zero Class — anonymous tenant,
+// priority 0, no deadline, no SLO — is what every pre-class caller
+// implicitly submitted, so unclassed traffic behaves exactly as before
+// the class dimension existed.
+type Class struct {
+	// Tenant names the submitting principal ("" = anonymous). It is a
+	// label: tenants are reported and filtered, never scheduled on.
+	Tenant string
+	// Priority ranks the job under DispatchPriority (higher runs
+	// first) and under priority-aware load shedding (lower sheds
+	// first). Default 0.
+	Priority int
+	// Deadline is the job's completion deadline relative to its
+	// arrival; DispatchEDF orders ready jobs by arrival+Deadline.
+	// Zero means no deadline: EDF runs deadline-less jobs after every
+	// deadlined one, in arrival order.
+	Deadline units.Time
+	// SLOTarget is the sojourn the class promises (reporting only:
+	// per-class SLO attainment is the fraction of jobs whose sojourn
+	// met it). Zero means no target.
+	SLOTarget units.Time
+}
+
+// IsZero reports whether c is the default (anonymous, priority 0,
+// no deadline, no SLO) class.
+func (c Class) IsZero() bool { return c == Class{} }
+
+// Validate rejects classes no layer can honor.
+func (c Class) Validate() error {
+	if c.Deadline < 0 {
+		return fmt.Errorf("core: class deadline must not be negative, got %v", c.Deadline)
+	}
+	if c.SLOTarget < 0 {
+		return fmt.Errorf("core: class SLO target must not be negative, got %v", c.SLOTarget)
+	}
+	return nil
+}
+
+// Dispatch selects how a machine's intake orders delivered jobs that
+// are waiting for a worker (the pool's inject queue). It is the
+// scheduling seam service classes plug into: FIFO ignores classes
+// entirely, Priority and EDF read them.
+type Dispatch uint8
+
+const (
+	// DispatchFIFO hands out roots in delivery order — the original,
+	// class-blind behaviour, byte-identical to the pre-class runtime
+	// for any trace.
+	DispatchFIFO Dispatch = iota
+	// DispatchPriority hands out the highest-priority waiting root
+	// first; ties keep delivery order.
+	DispatchPriority
+	// DispatchEDF hands out the waiting root with the earliest
+	// absolute deadline (arrival + Class.Deadline) first; jobs without
+	// a deadline run after every deadlined job, in delivery order.
+	DispatchEDF
+)
+
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchFIFO:
+		return "fifo"
+	case DispatchPriority:
+		return "priority"
+	case DispatchEDF:
+		return "edf"
+	}
+	return "invalid"
+}
+
+// ParseDispatch maps a policy name to its Dispatch value.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch s {
+	case "", "fifo":
+		return DispatchFIFO, nil
+	case "priority", "prio":
+		return DispatchPriority, nil
+	case "edf":
+		return DispatchEDF, nil
+	}
+	return DispatchFIFO, fmt.Errorf("core: unknown dispatch policy %q (want fifo, priority or edf)", s)
+}
+
+// deadlineAbs is j's absolute EDF key; ok is false for deadline-less
+// jobs, which EDF orders after every deadlined one.
+func (j *jobRun) deadlineAbs() (units.Time, bool) {
+	if j.class.Deadline <= 0 {
+		return 0, false
+	}
+	return j.arriveAt + j.class.Deadline, true
+}
+
+// outranks reports whether waiting job a strictly precedes running (or
+// waiting) job b under the configured dispatch policy. Strict: equal
+// rank keeps FIFO order (and never preempts).
+func (s *sched) outranks(a, b *jobRun) bool {
+	switch s.cfg.Dispatch {
+	case DispatchPriority:
+		return a.class.Priority > b.class.Priority
+	case DispatchEDF:
+		da, aOK := a.deadlineAbs()
+		db, bOK := b.deadlineAbs()
+		switch {
+		case aOK && !bOK:
+			return true
+		case !aOK:
+			return false
+		default:
+			return da < db
+		}
+	}
+	return false
+}
+
+// poolPick returns the inject-queue index the dispatch policy selects
+// next. FIFO always picks the head; Priority and EDF scan for the
+// best-ranked root, first-delivered winning ties (outranks is strict).
+func (s *sched) poolPick() int {
+	q := s.pool.injectq
+	if s.cfg.Dispatch == DispatchFIFO {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if s.outranks(q[i].job, q[best].job) {
+			best = i
+		}
+	}
+	return best
+}

@@ -131,6 +131,20 @@ type Config struct {
 	// Seed drives every random choice (victim selection). Identical
 	// configs and seeds produce bit-identical runs.
 	Seed int64
+	// Dispatch orders the pool's ready jobs awaiting a worker:
+	// DispatchFIFO (default, class-blind delivery order),
+	// DispatchPriority (strict Class.Priority) or DispatchEDF
+	// (earliest absolute deadline first). Single-shot runs ignore it.
+	Dispatch Dispatch
+	// PreemptQuantum, when positive and Dispatch is not FIFO, lets a
+	// waiting job that outranks the one a worker is executing take
+	// that worker at the next quantum boundary mid-task
+	// (Shinjuku-style preemption): long CPU segments are chopped into
+	// quantum-sized slices and the ready queue is re-checked between
+	// slices, so a short latency-critical arrival overtakes
+	// heavy-tailed batch work already in flight. Zero disables
+	// preemption; Sim pool mode only.
+	PreemptQuantum units.Time
 
 	// Overheads. Zero values select defaults consistent with the
 	// paper's Section 3.4 discussion.
@@ -194,6 +208,12 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Deque > DequeChaseLev {
 		return c, fmt.Errorf("core: invalid deque kind %d", c.Deque)
+	}
+	if c.Dispatch > DispatchEDF {
+		return c, fmt.Errorf("core: invalid dispatch policy %d", c.Dispatch)
+	}
+	if c.PreemptQuantum < 0 {
+		return c, fmt.Errorf("core: PreemptQuantum must not be negative, got %v", c.PreemptQuantum)
 	}
 	if len(c.Freqs) == 0 {
 		c.Freqs = DefaultFreqs(c.Spec)

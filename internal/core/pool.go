@@ -38,6 +38,9 @@ type JobRequest struct {
 	At units.Time
 	// Root is the job's root task.
 	Root wl.Task
+	// Class is the job's service class (tenant, priority, deadline,
+	// SLO target). The zero Class reproduces pre-class behaviour.
+	Class Class
 	// Cancelled, if non-nil, is polled at spawn and task boundaries;
 	// once true the job's remaining bodies are skipped and the job
 	// completes with ErrInterrupted.
@@ -102,6 +105,7 @@ type jobRun struct {
 	id        int64
 	at        units.Time // requested arrival; <0 = on receipt
 	root      wl.Task
+	class     Class
 	cancelled func() bool
 	done      func(Report, error)
 
@@ -293,10 +297,14 @@ func (p *Pool) Submit(reqs ...JobRequest) error {
 		if rq.Done == nil {
 			return fmt.Errorf("core: job %d has no completion callback", rq.ID)
 		}
+		if err := rq.Class.Validate(); err != nil {
+			return err
+		}
 		jobs[i] = &jobRun{
 			id:        rq.ID,
 			at:        rq.At,
 			root:      rq.Root,
+			class:     rq.Class,
 			cancelled: rq.Cancelled,
 			done:      rq.Done,
 		}
@@ -532,14 +540,20 @@ func (s *sched) deliver(j *jobRun) {
 	s.profProc.Wake()
 }
 
-// poolTake hands out the oldest delivered root awaiting pickup, or
-// nil. Only meaningful in pool mode.
+// poolTake hands out the delivered root the dispatch policy ranks
+// first (delivery order under FIFO), or nil. Only meaningful in pool
+// mode.
 func (s *sched) poolTake() *task {
 	if s.pool == nil || len(s.pool.injectq) == 0 {
 		return nil
 	}
-	t := s.pool.injectq[0]
-	s.pool.injectq = s.pool.injectq[1:]
+	i := s.poolPick()
+	t := s.pool.injectq[i]
+	if i == 0 {
+		s.pool.injectq = s.pool.injectq[1:]
+	} else {
+		s.pool.injectq = append(s.pool.injectq[:i], s.pool.injectq[i+1:]...)
+	}
 	return t
 }
 
@@ -666,6 +680,7 @@ func (s *sched) buildJobReport(j *jobRun, now units.Time, end poolSnap) Report {
 		Workers:       s.cfg.Workers,
 		Mode:          s.cfg.Mode,
 		Sched:         s.cfg.Scheduling,
+		Class:         j.class,
 		Span:          span,
 		Sojourn:       sojourn,
 		EnergyJ:       energy,

@@ -17,6 +17,9 @@ type Report struct {
 	Workers int
 	Mode    Mode
 	Sched   Scheduling
+	// Class is the job's service class as submitted (zero for
+	// unclassed jobs and single-shot runs).
+	Class Class
 
 	// Span is the execution time: from the job's first task beginning
 	// to run to root-task completion (the makespan of a single-shot

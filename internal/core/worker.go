@@ -70,7 +70,14 @@ type worker struct {
 
 	helpDepth int
 	backoff   units.Time
+	// preemptDepth bounds quantum-preemption nesting: each preemption
+	// runs the overtaking job's root inline inside workCycles, so a
+	// pathological trace could otherwise stack frames without limit.
+	preemptDepth int
 }
+
+// maxPreemptDepth caps nested quantum preemptions per worker.
+const maxPreemptDepth = 8
 
 func newWorker(s *sched, id int, c *cpu.Core) *worker {
 	w := &worker{
@@ -545,11 +552,19 @@ func (w *worker) parkOnBlock(blk *block) {
 // frequency, re-rating the remainder whenever the clock domain
 // commits a DVFS transition — or the machine's straggler factor
 // changes — mid-segment. An eviction (machine crash under this job)
-// abandons the remaining cycles: the job re-runs elsewhere.
+// abandons the remaining cycles: the job re-runs elsewhere. With a
+// preemption quantum configured, segments are additionally chopped at
+// quantum boundaries and the ready queue re-checked between slices
+// (maybePreempt), so a higher-ranked arrival overtakes a long CPU
+// burst mid-stream.
 func (w *worker) workCycles(c units.Cycles) {
 	rem := c
 	for rem > 0 {
 		if j := w.curJob; j != nil && j.evicted {
+			return
+		}
+		w.maybePreempt()
+		if w.s.done {
 			return
 		}
 		f := w.core.Dom.Freq()
@@ -559,11 +574,15 @@ func (w *worker) workCycles(c units.Cycles) {
 		if slow > 1 {
 			dur = units.Time(float64(dur) * slow)
 		}
-		end := start + dur
+		full := start + dur
+		end := full
+		if q := w.s.cfg.PreemptQuantum; w.preemptible() && dur > q {
+			end = start + q
+		}
 		w.inWork = true
 		resumed := w.proc.WaitUntil(end)
 		w.inWork = false
-		if resumed >= end {
+		if resumed >= full {
 			return // full segment retired at constant frequency
 		}
 		el := resumed - start
@@ -576,6 +595,43 @@ func (w *worker) workCycles(c units.Cycles) {
 		}
 		rem -= done
 	}
+}
+
+// preemptible reports whether this worker's CPU segments are subject
+// to quantum preemption: a quantum is configured, a ranked dispatch
+// policy is active, pool mode, and the nesting cap is not exhausted.
+// FIFO never preempts, so the default configuration retires segments
+// exactly as before the quantum existed.
+func (w *worker) preemptible() bool {
+	return w.s.cfg.PreemptQuantum > 0 &&
+		w.s.cfg.Dispatch != DispatchFIFO &&
+		w.s.pool != nil &&
+		w.preemptDepth < maxPreemptDepth
+}
+
+// maybePreempt lets a waiting root that strictly outranks the job this
+// worker is executing take the worker now (Shinjuku-style quantum
+// preemption): the overtaking job runs inline to completion on this
+// worker — runTask's curJob save/restore keeps energy attribution
+// exact across the switch — then the preempted segment resumes.
+func (w *worker) maybePreempt() {
+	if !w.preemptible() || w.curJob == nil {
+		return
+	}
+	s := w.s
+	if len(s.pool.injectq) == 0 {
+		return
+	}
+	i := s.poolPick()
+	t := s.pool.injectq[i]
+	if !s.outranks(t.job, w.curJob) {
+		return
+	}
+	s.pool.injectq = append(s.pool.injectq[:i], s.pool.injectq[i+1:]...)
+	w.preemptDepth++
+	w.runTask(t)
+	w.preemptDepth--
+	w.setState(cpu.Busy)
 }
 
 // memWork advances frequency-independent time (memory-bound stalls).

@@ -59,7 +59,7 @@ func TestCompareDirections(t *testing.T) {
 
 func TestFigureRegistryComplete(t *testing.T) {
 	ids := Figures()
-	want := []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27}
+	want := []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28}
 	if len(ids) != len(want) {
 		t.Fatalf("figures = %v", ids)
 	}

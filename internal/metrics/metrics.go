@@ -50,7 +50,21 @@ type Snapshot struct {
 	DroppedEvents uint64
 }
 
-// kindSeries is the per-workload-kind slice of the labeled series:
+// Key identifies one labeled series slice: the workload kind plus the
+// job's service class (tenant, priority). Unclassed jobs leave Tenant
+// empty and Priority zero, and their series render with the workload
+// label alone — the pre-tenancy scrape schema, byte for byte.
+type Key struct {
+	Kind     string
+	Tenant   string
+	Priority int
+}
+
+// classed reports whether the key carries a non-default service class
+// and so renders tenant/priority labels.
+func (k Key) classed() bool { return k.Tenant != "" || k.Priority != 0 }
+
+// kindSeries is the per-(kind, class) slice of the labeled series:
 // submissions and the sojourn histogram.
 type kindSeries struct {
 	submitted  int64
@@ -73,8 +87,8 @@ type Registry struct {
 	powerW        float64
 	jobEnergyJ    float64
 	jobStart      map[int64]units.Time // job id -> JobStart event time
-	jobKind       map[int64]string     // job id -> workload kind tag
-	byKind        map[string]*kindSeries
+	jobKind       map[int64]Key        // job id -> series key tag
+	byKind        map[Key]*kindSeries
 	// unknownDone remembers the latencies of jobs whose JobDone
 	// arrived before their kind tag (the tag races the fold on fast
 	// jobs): a late JobSubmitted migrates the observation from the
@@ -93,8 +107,8 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		jobStart:    make(map[int64]units.Time),
-		jobKind:     make(map[int64]string),
-		byKind:      make(map[string]*kindSeries),
+		jobKind:     make(map[int64]Key),
+		byKind:      make(map[Key]*kindSeries),
 		unknownDone: make(map[int64]float64),
 		latBuckets:  make([]int64, len(LatencyBuckets)+1),
 	}
@@ -111,9 +125,9 @@ func bucketFor(sec float64) int {
 	return len(LatencyBuckets)
 }
 
-// kind returns (creating if needed) the labeled series for one
-// workload kind; r.mu must be held.
-func (r *Registry) kind(k string) *kindSeries {
+// kind returns (creating if needed) the labeled series for one series
+// key; r.mu must be held.
+func (r *Registry) kind(k Key) *kindSeries {
 	ks := r.byKind[k]
 	if ks == nil {
 		ks = &kindSeries{latBuckets: make([]int64, len(LatencyBuckets)+1)}
@@ -122,32 +136,47 @@ func (r *Registry) kind(k string) *kindSeries {
 	return ks
 }
 
+// unknownKey is the series jobs fold under when they were never tagged
+// (or their tag raced a very fast completion).
+var unknownKey = Key{Kind: UnknownKind}
+
 // JobSubmitted records one accepted submission of the given workload
 // kind (hermes_jobs_submitted_total{workload=...}) and tags job id so
 // its completion lands in that kind's latency histogram. Call it right
-// after the runtime accepts the job.
+// after the runtime accepts the job. Unclassed convenience wrapper
+// around JobSubmittedClass.
 func (r *Registry) JobSubmitted(id int64, kind string) {
+	r.JobSubmittedClass(id, kind, "", 0)
+}
+
+// JobSubmittedClass records one accepted submission with its service
+// class: the submission counter and the job's latency observation land
+// in the (workload, tenant, priority) series. Unclassed submissions
+// (empty tenant, zero priority) keep the workload-only label set, so
+// pre-tenancy scrape output is unchanged byte for byte.
+func (r *Registry) JobSubmittedClass(id int64, kind, tenant string, priority int) {
 	if kind == "" {
 		kind = UnknownKind
 	}
+	key := Key{Kind: kind, Tenant: tenant, Priority: priority}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.kind(kind).submitted++
-	if lat, raced := r.unknownDone[id]; raced && kind != UnknownKind {
+	r.kind(key).submitted++
+	if lat, raced := r.unknownDone[id]; raced && key != unknownKey {
 		// The job finished before this tag landed and was folded under
-		// "unknown": move the observation to its real kind.
+		// "unknown": move the observation to its real series.
 		delete(r.unknownDone, id)
-		u := r.kind(UnknownKind)
+		u := r.kind(unknownKey)
 		u.latSum -= lat
 		u.latCount--
 		u.latBuckets[bucketFor(lat)]--
-		ks := r.kind(kind)
+		ks := r.kind(key)
 		ks.latSum += lat
 		ks.latCount++
 		ks.latBuckets[bucketFor(lat)]++
 		return
 	}
-	r.jobKind[id] = kind
+	r.jobKind[id] = key
 	if len(r.jobKind) > 2*maxTrackedJobs {
 		for old := range r.jobKind {
 			if old <= id-maxTrackedJobs {
@@ -215,9 +244,9 @@ func (r *Registry) Observe(e obs.Event) {
 		if lat < 0 {
 			lat = 0
 		}
-		kind := r.jobKind[e.Job]
-		if kind == "" {
-			kind = UnknownKind
+		key, tagged := r.jobKind[e.Job]
+		if !tagged {
+			key = unknownKey
 			// Remember the fold so a late kind tag can migrate it.
 			r.unknownDone[e.Job] = lat
 			if len(r.unknownDone) > 2*maxTrackedJobs {
@@ -230,15 +259,15 @@ func (r *Registry) Observe(e obs.Event) {
 		} else {
 			delete(r.jobKind, e.Job)
 		}
-		r.observeLatencyLocked(kind, lat)
+		r.observeLatencyLocked(key, lat)
 	}
 }
 
-func (r *Registry) observeLatencyLocked(kind string, sec float64) {
+func (r *Registry) observeLatencyLocked(key Key, sec float64) {
 	r.latSum += sec
 	r.latCount++
 	r.latBuckets[bucketFor(sec)]++
-	ks := r.kind(kind)
+	ks := r.kind(key)
 	ks.latSum += sec
 	ks.latCount++
 	ks.latBuckets[bucketFor(sec)]++
@@ -380,17 +409,26 @@ func (r *Registry) AddCollector(fn func(io.Writer) error) {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	snap := r.snapshotLocked()
-	kinds := make([]string, 0, len(r.byKind))
+	kinds := make([]Key, 0, len(r.byKind))
 	for k := range r.byKind {
 		kinds = append(kinds, k)
 	}
 	if len(kinds) == 0 {
 		// Keep the labeled families present (zeroed) before the first
 		// job, so scrapers and series checks see a stable schema.
-		r.kind(UnknownKind)
-		kinds = append(kinds, UnknownKind)
+		r.kind(unknownKey)
+		kinds = append(kinds, unknownKey)
 	}
-	sort.Strings(kinds)
+	sort.Slice(kinds, func(i, j int) bool {
+		a, b := kinds[i], kinds[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Priority < b.Priority
+	})
 	series := make([]kindSeries, len(kinds))
 	for i, k := range kinds {
 		ks := r.byKind[k]
@@ -431,25 +469,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("hermes_job_energy_joules_total", "Sum of per-job attributed energy over completed jobs.", snap.JobEnergyJ)
 	counter("hermes_observer_dropped_events_total", "Observer events dropped by the async sink's bounded buffer.", snap.DroppedEvents)
 
-	p("# HELP hermes_jobs_submitted_total Accepted job submissions by workload kind.\n")
+	// Classed series carry tenant and priority labels after the
+	// workload label; unclassed series render the workload label alone,
+	// keeping the pre-tenancy scrape schema byte-identical.
+	labels := func(k Key) string {
+		if k.classed() {
+			return fmt.Sprintf("workload=%q,tenant=%q,priority=\"%d\"", k.Kind, k.Tenant, k.Priority)
+		}
+		return fmt.Sprintf("workload=%q", k.Kind)
+	}
+	p("# HELP hermes_jobs_submitted_total Accepted job submissions by workload kind and service class.\n")
 	p("# TYPE hermes_jobs_submitted_total counter\n")
 	for i, k := range kinds {
-		p("hermes_jobs_submitted_total{workload=%q} %d\n", k, series[i].submitted)
+		p("hermes_jobs_submitted_total{%s} %d\n", labels(k), series[i].submitted)
 	}
 
-	p("# HELP hermes_job_latency_seconds Job sojourn time from submission to completion, by workload kind.\n")
+	p("# HELP hermes_job_latency_seconds Job sojourn time from submission to completion, by workload kind and service class.\n")
 	p("# TYPE hermes_job_latency_seconds histogram\n")
 	for i, k := range kinds {
 		ks := series[i]
+		lk := labels(k)
 		var cum int64
 		for b, ub := range LatencyBuckets {
 			cum += ks.latBuckets[b]
-			p("hermes_job_latency_seconds_bucket{workload=%q,le=%q} %d\n", k, formatBound(ub), cum)
+			p("hermes_job_latency_seconds_bucket{%s,le=%q} %d\n", lk, formatBound(ub), cum)
 		}
 		cum += ks.latBuckets[len(LatencyBuckets)]
-		p("hermes_job_latency_seconds_bucket{workload=%q,le=\"+Inf\"} %d\n", k, cum)
-		p("hermes_job_latency_seconds_sum{workload=%q} %v\n", k, ks.latSum)
-		p("hermes_job_latency_seconds_count{workload=%q} %d\n", k, ks.latCount)
+		p("hermes_job_latency_seconds_bucket{%s,le=\"+Inf\"} %d\n", lk, cum)
+		p("hermes_job_latency_seconds_sum{%s} %v\n", lk, ks.latSum)
+		p("hermes_job_latency_seconds_count{%s} %d\n", lk, ks.latCount)
 	}
 	if err != nil {
 		return err

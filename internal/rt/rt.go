@@ -96,6 +96,10 @@ type jobState struct {
 	rootBlk *block
 	start   time.Time
 	snap    poolSnap
+	// class is the job's service class: carried into the Report (and
+	// so into per-class metrics), never scheduled on — this executor's
+	// channel intake is inherently FIFO.
+	class core.Class
 
 	cancelled atomic.Bool
 	// interrupted records that cancellation actually preempted work
@@ -296,6 +300,12 @@ func NewExec(cfg core.Config) (*Exec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Dispatch != core.DispatchFIFO {
+		return nil, fmt.Errorf("rt: dispatch policy %v needs the Sim backend (this executor's intake is FIFO)", cfg.Dispatch)
+	}
+	if cfg.PreemptQuantum != 0 {
+		return nil, fmt.Errorf("rt: preemption quantum needs the Sim backend")
+	}
 	if len(cfg.Freqs) > acctFreqCap {
 		return nil, fmt.Errorf("rt: at most %d tempo frequencies supported, got %d", acctFreqCap, len(cfg.Freqs))
 	}
@@ -413,8 +423,19 @@ func (e *Exec) SetMode(m core.Mode) error {
 // boundaries, drains its fork-join structure, and completes the job
 // with ctx's error.
 func (e *Exec) Submit(ctx context.Context, root wl.Task) (*job.Job, error) {
+	return e.SubmitClass(ctx, root, core.Class{})
+}
+
+// SubmitClass is Submit with an explicit service class: the class is
+// recorded on the job and echoed in its Report (per-class metrics,
+// tenant filters). The channel intake stays FIFO regardless — ranked
+// dispatch is a Sim-backend capability, rejected at NewExec.
+func (e *Exec) SubmitClass(ctx context.Context, root wl.Task, class core.Class) (*job.Job, error) {
 	if root == nil {
 		return nil, ErrNilTask
+	}
+	if err := class.Validate(); err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -441,6 +462,7 @@ func (e *Exec) Submit(ctx context.Context, root wl.Task) (*job.Job, error) {
 		ctx:     ctx,
 		rootBlk: &block{done: make(chan struct{}, 1)},
 		perW:    make([]jobWCounts, len(e.workers)),
+		class:   class,
 	}
 	js.j = job.New(js.id)
 	// watch always waits on the root block, so announce its waiter up
@@ -669,6 +691,7 @@ func (e *Exec) buildReport(js *jobState, end poolSnap) core.Report {
 		Workers:       e.cfg.Workers,
 		Mode:          e.modeNow(),
 		Sched:         e.cfg.Scheduling,
+		Class:         js.class,
 		Span:          span,
 		Sojourn:       sojourn,
 		EnergyJ:       energy,

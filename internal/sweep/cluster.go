@@ -36,6 +36,12 @@ type ClusterConfig struct {
 	Trials     int
 	Workers    int // per machine; 0 = backend default
 	KneeFactor float64
+	// Dispatch names the intake dispatch policy every machine runs
+	// ("" or "fifo" = arrival order, "priority", "edf").
+	Dispatch string
+	// PreemptQuantum caps uninterrupted execution under a ranked
+	// dispatch policy (0 = jobs run to completion once started).
+	PreemptQuantum time.Duration
 	// Log, when non-nil, receives one progress line per completed point.
 	Log func(string)
 }
@@ -108,6 +114,11 @@ type ClusterPoint struct {
 	// Tiers is fleet-wide DVFS residency (share of busy core-time per
 	// frequency), fastest first.
 	Tiers []Tier `json:"tiers"`
+
+	// Classes breaks the point down per service class when the trace
+	// is mixed; absent (omitted from JSON) for unclassed traces, so
+	// single-class artifacts keep their byte-exact shape.
+	Classes []ClassPoint `json:"classes,omitempty"`
 }
 
 // ClusterCurve is one (policy, machines) combination's curve over the
@@ -153,8 +164,14 @@ type ClusterResult struct {
 	KneeFactor float64   `json:"knee_factor"`
 	// FaultPlans lists the swept fault plans by registered name; nil
 	// when the sweep was entirely fault-free (pre-chaos artifact shape).
-	FaultPlans []string       `json:"fault_plans,omitempty"`
-	Curves     []ClusterCurve `json:"curves"`
+	FaultPlans []string `json:"fault_plans,omitempty"`
+	// Dispatch is the intake policy, normalized so the default FIFO
+	// stays "" — pre-dispatch artifacts keep their byte-exact shape.
+	// PreemptQuantumMS is the ranked-dispatch quantum, 0 (omitted) when
+	// jobs run to completion.
+	Dispatch         string         `json:"dispatch,omitempty"`
+	PreemptQuantumMS float64        `json:"preempt_quantum_ms,omitempty"`
+	Curves           []ClusterCurve `json:"curves"`
 }
 
 // clusterTrialOut is one cluster trial's raw measurements.
@@ -168,6 +185,23 @@ type clusterTrialOut struct {
 	makespan units.Time
 	stats    hermes.ClusterStats
 	workers  int
+	// classes holds per-service-class raw measurements, keyed by the
+	// full class value; empty for unclassed traces.
+	classes map[hermes.Class]*classAcc
+}
+
+// classOf returns the trial's accumulator for class c, creating it on
+// first use.
+func (out *clusterTrialOut) classOf(c hermes.Class) *classAcc {
+	if out.classes == nil {
+		out.classes = map[hermes.Class]*classAcc{}
+	}
+	acc := out.classes[c]
+	if acc == nil {
+		acc = &classAcc{}
+		out.classes[c] = acc
+	}
+	return acc
 }
 
 // runClusterTrial replays one seeded trace through a fresh Cluster,
@@ -178,11 +212,21 @@ func runClusterTrial(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 	if err != nil {
 		return out, err
 	}
+	dispatch, err := hermes.ParseDispatch(cfg.Dispatch)
+	if err != nil {
+		return out, err
+	}
 	copts := []hermes.Option{
 		hermes.WithMachines(machines),
 		hermes.WithPlacement(policy),
 		hermes.WithMode(cfg.Mode),
 		hermes.WithSeed(seed),
+	}
+	if dispatch != hermes.DispatchFIFO {
+		copts = append(copts, hermes.WithDispatch(dispatch))
+	}
+	if cfg.PreemptQuantum > 0 {
+		copts = append(copts, hermes.WithPreemptQuantum(units.Time(cfg.PreemptQuantum)*units.Nanosecond))
 	}
 	if fault.Canonical(plan) != "" {
 		horizon := units.Time(cfg.Window.Nanoseconds()) * units.Nanosecond
@@ -206,6 +250,13 @@ func runClusterTrial(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 		return out, err
 	}
 	out.arrivals = int64(len(arrivals))
+	mixed := false
+	for _, a := range arrivals {
+		if !a.Class.IsZero() {
+			mixed = true
+			break
+		}
+	}
 	for i, j := range jobs {
 		rep, err := j.Wait()
 		// Failed jobs count toward depth and makespan but not latency
@@ -215,8 +266,16 @@ func runClusterTrial(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 		if done > out.makespan {
 			out.makespan = done
 		}
+		var acc *classAcc
+		if mixed {
+			acc = out.classOf(arrivals[i].Class)
+			acc.arrivals++
+		}
 		if err != nil {
 			out.errors++
+			if acc != nil {
+				acc.errors++
+			}
 			if cfg.Log != nil {
 				cfg.Log(fmt.Sprintf("sweep: cluster job %d failed: %v", j.ID(), err))
 			}
@@ -229,6 +288,13 @@ func runClusterTrial(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 		}
 		out.queues = append(out.queues, q)
 		out.steals += rep.Steals
+		if acc != nil {
+			acc.sojourns = append(acc.sojourns, rep.Sojourn)
+			acc.jobJoules += rep.EnergyJ
+			if t := arrivals[i].Class.SLOTarget; t > 0 && rep.Sojourn <= t {
+				acc.sloMet++
+			}
+		}
 	}
 	if err := c.Close(); err != nil {
 		return out, err
@@ -263,11 +329,24 @@ func runClusterPoint(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 	var (
 		lost     int64
 		downtime units.Time
+		classes  = map[hermes.Class]*classAcc{}
 	)
 	for trial := 0; trial < trials; trial++ {
 		out, err := runClusterTrial(cfg, plan, policy, machines, rps, cfg.Seed+int64(trial))
 		if err != nil {
 			return ClusterPoint{}, err
+		}
+		for c, acc := range out.classes {
+			pool := classes[c]
+			if pool == nil {
+				pool = &classAcc{}
+				classes[c] = pool
+			}
+			pool.arrivals += acc.arrivals
+			pool.errors += acc.errors
+			pool.sojourns = append(pool.sojourns, acc.sojourns...)
+			pool.jobJoules += acc.jobJoules
+			pool.sloMet += acc.sloMet
 		}
 		pt.Crashes += out.stats.Crashes
 		pt.Rejoins += out.stats.Rejoins
@@ -356,6 +435,7 @@ func runClusterPoint(cfg ClusterConfig, plan string, policy hermes.Placement, ma
 		}
 		pt.Tiers = append(pt.Tiers, tier)
 	}
+	pt.Classes = classPoints(classes)
 	return pt, nil
 }
 
@@ -369,6 +449,13 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	cfg.Workload = spec
 	if _, err := trace.Resolve(cfg.Trace); err != nil {
 		return ClusterResult{}, err
+	}
+	dispatch, err := hermes.ParseDispatch(cfg.Dispatch)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	if cfg.PreemptQuantum < 0 {
+		return ClusterResult{}, fmt.Errorf("sweep: preempt quantum must be non-negative, got %v", cfg.PreemptQuantum)
 	}
 	plans := cfg.Faults
 	if len(plans) == 0 {
@@ -429,6 +516,10 @@ func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 		Trials:     trials,
 		Workers:    cfg.Workers,
 		KneeFactor: factor,
+		Dispatch:   CanonicalDispatch(dispatch),
+	}
+	if cfg.PreemptQuantum > 0 {
+		res.PreemptQuantumMS = float64(cfg.PreemptQuantum) / float64(time.Millisecond)
 	}
 	if chaos {
 		for _, plan := range plans {
@@ -512,6 +603,51 @@ func (r ClusterResult) CSV() string {
 				p.FleetJoulesPerRequest, p.FleetAvgPowerW, p.StealsPerRequest, p.Migrated, p.IdleMachines,
 				p.Crashes, p.Rejoins, p.Retries, p.Lost, avail, p.DowntimeS, kneeCSV(c.KneeRPS),
 				strings.Join(per, ";"))
+		}
+	}
+	return b.String()
+}
+
+// Classed reports whether any point in the result carries per-class
+// rows — true only for mixed traces.
+func (r ClusterResult) Classed() bool {
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			if len(p.Classes) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ClassCSV renders the per-class breakdown flat, one row per
+// (policy, machines, rate, class). Empty string when the result has no
+// class rows.
+func (r ClusterResult) ClassCSV() string {
+	if !r.Classed() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("policy,machines,offered_rps,tenant,priority,arrivals,completed,errors," +
+		"p50_sojourn_ms,p95_sojourn_ms,p99_sojourn_ms," +
+		"slo_target_ms,slo_attainment,joules_per_request\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			for _, cp := range p.Classes {
+				target, attain := "", ""
+				if cp.SLOTargetMS != nil {
+					target = fmt.Sprintf("%g", *cp.SLOTargetMS)
+				}
+				if cp.SLOAttainment != nil {
+					attain = fmt.Sprintf("%.6f", *cp.SLOAttainment)
+				}
+				fmt.Fprintf(&b, "%s,%d,%g,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%s,%s,%.8f\n",
+					c.Policy, c.Machines, p.OfferedRPS, cp.Tenant, cp.Priority,
+					cp.Arrivals, cp.Completed, cp.Errors,
+					cp.P50SojournMS, cp.P95SojournMS, cp.P99SojournMS,
+					target, attain, cp.JoulesPerRequest)
+			}
 		}
 	}
 	return b.String()

@@ -167,6 +167,34 @@ type Point struct {
 	// Tiers is the machine's DVFS residency (share of busy core-time
 	// per frequency), fastest tier first.
 	Tiers []Tier `json:"tiers"`
+
+	// Classes breaks the point down per service class when the trace
+	// is mixed; absent (omitted from JSON) for unclassed traces, so
+	// single-class artifacts keep their byte-exact shape.
+	Classes []ClassPoint `json:"classes,omitempty"`
+}
+
+// ClassPoint is one service class's share of a grid point: its own
+// latency percentiles, SLO attainment and energy per request —
+// "who pays for energy savings", resolved per class.
+type ClassPoint struct {
+	Tenant    string `json:"tenant"`
+	Priority  int    `json:"priority"`
+	Arrivals  int64  `json:"arrivals"`
+	Completed int64  `json:"completed"`
+	Errors    int64  `json:"errors"`
+
+	P50SojournMS float64 `json:"p50_sojourn_ms"`
+	P95SojournMS float64 `json:"p95_sojourn_ms"`
+	P99SojournMS float64 `json:"p99_sojourn_ms"`
+
+	// SLOTargetMS echoes the class's sojourn target; SLOAttainment is
+	// the fraction of completed jobs that met it. Both null for
+	// classes without a target.
+	SLOTargetMS   *float64 `json:"slo_target_ms,omitempty"`
+	SLOAttainment *float64 `json:"slo_attainment,omitempty"`
+
+	JoulesPerRequest float64 `json:"joules_per_request"`
 }
 
 // PointConfig parameterizes one grid point for RunPoint.
@@ -181,6 +209,12 @@ type PointConfig struct {
 	Seed    int64
 	Trials  int // <1 means 1; trial t shifts the seed by t
 	Workers int // 0 = backend default
+	// Dispatch names the intake dispatch policy ("" or "fifo" = arrival
+	// order, "priority", "edf").
+	Dispatch string
+	// PreemptQuantum caps uninterrupted execution under a ranked
+	// dispatch policy (0 = jobs run to completion once started).
+	PreemptQuantum time.Duration
 	// Log, when non-nil, receives a diagnostic line per failed job.
 	Log func(string)
 }
@@ -197,6 +231,33 @@ type trialOut struct {
 	makespan  units.Time
 	dropped   uint64
 	machine   hermes.MachineStats
+	// classes holds per-service-class raw measurements, keyed by the
+	// full class value; empty for unclassed traces.
+	classes map[hermes.Class]*classAcc
+}
+
+// classAcc accumulates one service class's raw measurements across a
+// trial (and, pooled, across trials).
+type classAcc struct {
+	arrivals  int64
+	errors    int64
+	sojourns  []units.Time
+	jobJoules float64
+	sloMet    int64
+}
+
+// classOf returns the trial's accumulator for class c, creating it on
+// first use.
+func (out *trialOut) classOf(c hermes.Class) *classAcc {
+	if out.classes == nil {
+		out.classes = map[hermes.Class]*classAcc{}
+	}
+	acc := out.classes[c]
+	if acc == nil {
+		acc = &classAcc{}
+		out.classes[c] = acc
+	}
+	return acc
 }
 
 // runTrial replays one seeded trace through a fresh Runtime and
@@ -204,6 +265,10 @@ type trialOut struct {
 func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 	var out trialOut
 	arrivals, err := TraceArrivals(cfg.Workload, cfg.Trace, cfg.RPS, cfg.Window, seed)
+	if err != nil {
+		return out, err
+	}
+	dispatch, err := hermes.ParseDispatch(cfg.Dispatch)
 	if err != nil {
 		return out, err
 	}
@@ -215,6 +280,12 @@ func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 	if cfg.Workers > 0 {
 		ropts = append(ropts, hermes.WithWorkers(cfg.Workers))
 	}
+	if dispatch != hermes.DispatchFIFO {
+		ropts = append(ropts, hermes.WithDispatch(dispatch))
+	}
+	if cfg.PreemptQuantum > 0 {
+		ropts = append(ropts, hermes.WithPreemptQuantum(units.Time(cfg.PreemptQuantum)*units.Nanosecond))
+	}
 	rt, err := hermes.New(ropts...)
 	if err != nil {
 		return out, err
@@ -225,6 +296,13 @@ func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 		return out, err
 	}
 	out.arrivals = int64(len(arrivals))
+	mixed := false
+	for _, a := range arrivals {
+		if !a.Class.IsZero() {
+			mixed = true
+			break
+		}
+	}
 	for i, j := range jobs {
 		rep, err := j.Wait()
 		// A failed job occupied the system from arrival until it
@@ -237,8 +315,16 @@ func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 		if done > out.makespan {
 			out.makespan = done
 		}
+		var acc *classAcc
+		if mixed {
+			acc = out.classOf(arrivals[i].Class)
+			acc.arrivals++
+		}
 		if err != nil {
 			out.errors++
+			if acc != nil {
+				acc.errors++
+			}
 			if cfg.Log != nil {
 				cfg.Log(fmt.Sprintf("sweep: job %d failed: %v", j.ID(), err))
 			}
@@ -252,6 +338,13 @@ func runTrial(cfg PointConfig, seed int64) (trialOut, error) {
 		out.queues = append(out.queues, q)
 		out.jobJoules += rep.EnergyJ
 		out.steals += rep.Steals
+		if acc != nil {
+			acc.sojourns = append(acc.sojourns, rep.Sojourn)
+			acc.jobJoules += rep.EnergyJ
+			if t := arrivals[i].Class.SLOTarget; t > 0 && rep.Sojourn <= t {
+				acc.sloMet++
+			}
+		}
 	}
 	// One close, error-checked: the engine must have shut down cleanly
 	// for the machine ledger below to be final.
@@ -285,11 +378,24 @@ func RunPoint(cfg PointConfig) (Point, error) {
 		totalBusy        units.Time
 		steals           int64
 		makespan         units.Time
+		classes          = map[hermes.Class]*classAcc{}
 	)
 	for trial := 0; trial < trials; trial++ {
 		out, err := runTrial(cfg, cfg.Seed+int64(trial))
 		if err != nil {
 			return Point{}, err
+		}
+		for c, acc := range out.classes {
+			pool := classes[c]
+			if pool == nil {
+				pool = &classAcc{}
+				classes[c] = pool
+			}
+			pool.arrivals += acc.arrivals
+			pool.errors += acc.errors
+			pool.sojourns = append(pool.sojourns, acc.sojourns...)
+			pool.jobJoules += acc.jobJoules
+			pool.sloMet += acc.sloMet
 		}
 		pt.Arrivals += out.arrivals
 		pt.Errors += out.errors
@@ -344,7 +450,64 @@ func RunPoint(cfg PointConfig) (Point, error) {
 		}
 		pt.Tiers = append(pt.Tiers, tier)
 	}
+	pt.Classes = classPoints(classes)
 	return pt, nil
+}
+
+// classPoints folds pooled per-class accumulators into the artifact
+// rows, ordered highest priority first then by tenant — deterministic
+// for a fixed config. Returns nil for unclassed traces so Point.Classes
+// stays omitted from JSON.
+func classPoints(classes map[hermes.Class]*classAcc) []ClassPoint {
+	if len(classes) == 0 {
+		return nil
+	}
+	keys := make([]hermes.Class, 0, len(classes))
+	for c := range classes {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return a.SLOTarget < b.SLOTarget
+	})
+	out := make([]ClassPoint, 0, len(keys))
+	for _, c := range keys {
+		acc := classes[c]
+		sortTimes(acc.sojourns)
+		cp := ClassPoint{
+			Tenant:       c.Tenant,
+			Priority:     c.Priority,
+			Arrivals:     acc.arrivals,
+			Errors:       acc.errors,
+			Completed:    int64(len(acc.sojourns)),
+			P50SojournMS: pctMS(acc.sojourns, 0.50),
+			P95SojournMS: pctMS(acc.sojourns, 0.95),
+			P99SojournMS: pctMS(acc.sojourns, 0.99),
+		}
+		if cp.Completed > 0 {
+			cp.JoulesPerRequest = acc.jobJoules / float64(cp.Completed)
+		}
+		if c.SLOTarget > 0 {
+			target := float64(c.SLOTarget) / float64(units.Millisecond)
+			cp.SLOTargetMS = &target
+			attain := 0.0
+			if cp.Completed > 0 {
+				attain = float64(acc.sloMet) / float64(cp.Completed)
+			}
+			cp.SLOAttainment = &attain
+		}
+		out = append(out, cp)
+	}
+	return out
 }
 
 // sortTimes sorts virtual times ascending.
@@ -382,6 +545,12 @@ type Config struct {
 	Trials     int
 	Workers    int
 	KneeFactor float64 // 0 = DefaultKneeFactor
+	// Dispatch names the intake dispatch policy every point runs under
+	// ("" or "fifo" = arrival order, "priority", "edf").
+	Dispatch string
+	// PreemptQuantum caps uninterrupted execution under a ranked
+	// dispatch policy (0 = jobs run to completion once started).
+	PreemptQuantum time.Duration
 	// Log, when non-nil, receives one progress line per completed point.
 	Log func(string)
 }
@@ -426,7 +595,13 @@ type Result struct {
 	Trials     int       `json:"trials"`
 	Workers    int       `json:"workers"`
 	KneeFactor float64   `json:"knee_factor"`
-	Curves     []Curve   `json:"curves"`
+	// Dispatch is the intake policy the grid ran under, normalized so
+	// the default FIFO stays "" — pre-dispatch artifacts keep their
+	// byte-exact shape. PreemptQuantumMS is the ranked-dispatch
+	// quantum, 0 (omitted) when jobs run to completion.
+	Dispatch         string  `json:"dispatch,omitempty"`
+	PreemptQuantumMS float64 `json:"preempt_quantum_ms,omitempty"`
+	Curves           []Curve `json:"curves"`
 }
 
 // Run executes the whole grid and assembles the artifact.
@@ -438,6 +613,13 @@ func Run(cfg Config) (Result, error) {
 	cfg.Workload = spec
 	if _, err := trace.Resolve(cfg.Trace); err != nil {
 		return Result{}, err
+	}
+	dispatch, err := hermes.ParseDispatch(cfg.Dispatch)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.PreemptQuantum < 0 {
+		return Result{}, fmt.Errorf("sweep: preempt quantum must be non-negative, got %v", cfg.PreemptQuantum)
 	}
 	if len(cfg.Modes) == 0 {
 		return Result{}, fmt.Errorf("sweep: no tempo modes given")
@@ -475,21 +657,27 @@ func Run(cfg Config) (Result, error) {
 		Trials:     trials,
 		Workers:    cfg.Workers,
 		KneeFactor: factor,
+		Dispatch:   CanonicalDispatch(dispatch),
+	}
+	if cfg.PreemptQuantum > 0 {
+		res.PreemptQuantumMS = float64(cfg.PreemptQuantum) / float64(time.Millisecond)
 	}
 	for _, mode := range cfg.Modes {
 		curve := Curve{Mode: mode.String()}
 		var p99s []float64
 		for _, rate := range rates {
 			pt, err := RunPoint(PointConfig{
-				Workload: cfg.Workload,
-				Trace:    cfg.Trace,
-				Mode:     mode,
-				RPS:      rate,
-				Window:   cfg.Window,
-				Seed:     cfg.Seed,
-				Trials:   trials,
-				Workers:  cfg.Workers,
-				Log:      cfg.Log,
+				Workload:       cfg.Workload,
+				Trace:          cfg.Trace,
+				Mode:           mode,
+				RPS:            rate,
+				Window:         cfg.Window,
+				Seed:           cfg.Seed,
+				Trials:         trials,
+				Workers:        cfg.Workers,
+				Dispatch:       cfg.Dispatch,
+				PreemptQuantum: cfg.PreemptQuantum,
+				Log:            cfg.Log,
 			})
 			if err != nil {
 				return Result{}, fmt.Errorf("sweep: %s @ %g rps: %w", mode, rate, err)
@@ -506,6 +694,17 @@ func Run(cfg Config) (Result, error) {
 		res.Curves = append(res.Curves, curve)
 	}
 	return res, nil
+}
+
+// CanonicalDispatch normalizes a dispatch policy for artifacts: the
+// default FIFO renders as "" (omitted from JSON) so pre-dispatch
+// artifacts keep their byte-exact shape; ranked policies render their
+// canonical names.
+func CanonicalDispatch(d hermes.Dispatch) string {
+	if d == hermes.DispatchFIFO {
+		return ""
+	}
+	return d.String()
 }
 
 // kneeCSV renders a curve's knee for a CSV cell: the rate, or empty
@@ -537,6 +736,51 @@ func (r Result) CSV() string {
 				p.P50QueueMS, p.P95QueueMS, p.P99QueueMS,
 				p.JoulesPerRequest, p.AvgPowerW, p.StealsPerRequest, kneeCSV(c.KneeRPS),
 				strings.Join(tiers, ";"))
+		}
+	}
+	return b.String()
+}
+
+// Classed reports whether any point in the result carries per-class
+// rows — true only for mixed traces.
+func (r Result) Classed() bool {
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			if len(p.Classes) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ClassCSV renders the per-class breakdown flat, one row per
+// (mode, rate, class). Empty string when the result has no class rows,
+// so callers can skip the file entirely for unclassed traces.
+func (r Result) ClassCSV() string {
+	if !r.Classed() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("mode,offered_rps,tenant,priority,arrivals,completed,errors," +
+		"p50_sojourn_ms,p95_sojourn_ms,p99_sojourn_ms," +
+		"slo_target_ms,slo_attainment,joules_per_request\n")
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			for _, cp := range p.Classes {
+				target, attain := "", ""
+				if cp.SLOTargetMS != nil {
+					target = fmt.Sprintf("%g", *cp.SLOTargetMS)
+				}
+				if cp.SLOAttainment != nil {
+					attain = fmt.Sprintf("%.6f", *cp.SLOAttainment)
+				}
+				fmt.Fprintf(&b, "%s,%g,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%s,%s,%.8f\n",
+					c.Mode, p.OfferedRPS, cp.Tenant, cp.Priority,
+					cp.Arrivals, cp.Completed, cp.Errors,
+					cp.P50SojournMS, cp.P95SojournMS, cp.P99SojournMS,
+					target, attain, cp.JoulesPerRequest)
+			}
 		}
 	}
 	return b.String()

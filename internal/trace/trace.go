@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,11 +25,14 @@ const Salt = 0x9e3779b97f4a7c15
 // poisson-era JSON shape is preserved byte-for-byte.
 const Default = "poisson"
 
-// Point is one generated arrival: its offset from the window start
-// and a service-size multiplier (1 = the workload's nominal size).
+// Point is one generated arrival: its offset from the window start,
+// a service-size multiplier (1 = the workload's nominal size), and
+// the service class the arrival belongs to (zero = unclassed, the
+// single-class processes).
 type Point struct {
-	At   units.Time
-	Size float64
+	At    units.Time
+	Size  float64
+	Class hermes.Class
 }
 
 // Proc is one registered arrival process.
@@ -140,9 +144,109 @@ func (p Proc) Arrivals(build func(size float64) (wl.Task, error), seed int64, rp
 		if err != nil {
 			return nil, err
 		}
-		arrivals[i] = hermes.Arrival{At: pt.At, Task: task}
+		arrivals[i] = hermes.Arrival{At: pt.At, Task: task, Class: pt.Class}
 	}
 	return arrivals, nil
+}
+
+// SubProc is one named component of a mixed arrival process: a share
+// of the total offered rate, a generator for its own point stream,
+// and the service class stamped on every arrival it produces.
+type SubProc struct {
+	// Name labels the component (diagnostics; the Class carries the
+	// identity the scheduler and reports see).
+	Name string
+	// Share is this component's fraction of the mix's total rate;
+	// shares across a mix must sum to 1.
+	Share float64
+	// Class is stamped on every point the component generates.
+	Class hermes.Class
+	// Gen draws the component's points at its own (already scaled)
+	// rate — the same contract as Proc.Gen.
+	Gen func(rng *rand.Rand, rps float64, horizon units.Time) []Point
+}
+
+// Mix composes N named sub-processes into one arrival process under a
+// single seed: each component draws from its own PCG sub-stream
+// (seeded by one Uint64 from the parent stream, in declaration order)
+// at share×rps, every point is stamped with the component's class,
+// and the merged trace is ordered by arrival time with ties kept in
+// declaration order. The composition is deterministic: a fixed
+// (seed, rps, horizon) reproduces the identical mixed trace.
+func Mix(name, desc string, subs ...SubProc) Proc {
+	if len(subs) == 0 {
+		panic("trace: Mix needs at least one sub-process")
+	}
+	var total float64
+	for _, s := range subs {
+		if s.Share <= 0 || s.Gen == nil {
+			panic(fmt.Sprintf("trace: malformed mix component %q", s.Name))
+		}
+		total += s.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		panic(fmt.Sprintf("trace: mix %q shares sum to %g, want 1", name, total))
+	}
+	return Proc{
+		Name: name,
+		Desc: desc,
+		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+			var all []Point
+			for _, s := range subs {
+				// One parent draw per component, in declaration order,
+				// seeds an independent sub-stream: components never
+				// perturb each other's sequences, whatever their rates.
+				sub := rand.New(rand.NewPCG(rng.Uint64(), Salt))
+				pts := s.Gen(sub, rps*s.Share, horizon)
+				for i := range pts {
+					pts[i].Class = s.Class
+				}
+				all = append(all, pts...)
+			}
+			sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+			return all
+		},
+	}
+}
+
+// Canonical 2-class mix parameters: heavy-tailed batch work carries
+// most of the offered load while a light latency-critical class rides
+// on top with a deadline and SLO target — the "who pays for energy
+// savings" traffic shape.
+const (
+	MixBatchShare = 0.8
+	MixLCShare    = 0.2
+	// MixLCSize is the latency-critical request's service-size
+	// multiplier: an order of magnitude lighter than the mean batch
+	// request.
+	MixLCSize = 0.1
+	// MixLCDeadline and MixLCSLO are the latency-critical class's
+	// relative deadline (DispatchEDF key) and sojourn target
+	// (attainment reporting).
+	MixLCDeadline = 5 * units.Millisecond
+	MixLCSLO      = 5 * units.Millisecond
+)
+
+// MixBatchClass and MixLCClass are the service classes of the
+// canonical "mix" process's two components.
+func MixBatchClass() hermes.Class {
+	return hermes.Class{Tenant: "batch", Priority: 0}
+}
+
+func MixLCClass() hermes.Class {
+	return hermes.Class{Tenant: "lc", Priority: 1, Deadline: MixLCDeadline, SLOTarget: MixLCSLO}
+}
+
+// Mixed reports whether any point in pts carries a non-zero service
+// class — i.e. whether the trace came from a mixed process and
+// per-class breakouts are meaningful.
+func Mixed(pts []Point) bool {
+	for _, pt := range pts {
+		if !pt.Class.IsZero() {
+			return true
+		}
+	}
+	return false
 }
 
 // MMPP shape: the high state bursts at 3× the target rate, the low
@@ -165,25 +269,51 @@ const (
 	paretoMaxSize = 100.0
 )
 
+// poissonSized returns a memoryless-arrival generator stamping every
+// point with a fixed size. poissonSized(1) is stream-compatible with
+// the pre-registry sweep generator: one ExpFloat64 per arrival, loop
+// leaves on the first draw past the horizon.
+func poissonSized(size float64) func(*rand.Rand, float64, units.Time) []Point {
+	return func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+		var pts []Point
+		at := units.Time(0)
+		for {
+			at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
+			if at > horizon {
+				break
+			}
+			pts = append(pts, Point{At: at, Size: size})
+		}
+		return pts
+	}
+}
+
+// paretoGen draws Poisson arrivals with bounded-Pareto sizes — the
+// heavy-tailed service distribution (α=1.5, mean 1, cap 100×).
+func paretoGen(rng *rand.Rand, rps float64, horizon units.Time) []Point {
+	var pts []Point
+	at := units.Time(0)
+	for {
+		at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
+		if at > horizon {
+			break
+		}
+		// Inverse-CDF draw; 1−U ∈ (0,1] keeps the pow argument
+		// away from 0, the cap bounds the tail.
+		size := paretoXm / math.Pow(1-rng.Float64(), 1/paretoAlpha)
+		if size > paretoMaxSize {
+			size = paretoMaxSize
+		}
+		pts = append(pts, Point{At: at, Size: size})
+	}
+	return pts
+}
+
 func init() {
 	Register(Proc{
 		Name: "poisson",
 		Desc: "memoryless arrivals: exponential interarrivals at the target rate, unit size",
-		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
-			// Stream-compatible with the pre-registry sweep generator:
-			// one ExpFloat64 per arrival, loop leaves on the first draw
-			// past the horizon.
-			var pts []Point
-			at := units.Time(0)
-			for {
-				at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
-				if at > horizon {
-					break
-				}
-				pts = append(pts, Point{At: at, Size: 1})
-			}
-			return pts
-		},
+		Gen:  poissonSized(1),
 	})
 	Register(Proc{
 		Name: "mmpp",
@@ -228,23 +358,12 @@ func init() {
 	Register(Proc{
 		Name: "pareto",
 		Desc: "Poisson arrivals with heavy-tailed sizes: bounded Pareto (α=1.5, mean 1) scales each request's work",
-		Gen: func(rng *rand.Rand, rps float64, horizon units.Time) []Point {
-			var pts []Point
-			at := units.Time(0)
-			for {
-				at += units.Time(rng.ExpFloat64() / rps * float64(units.Second))
-				if at > horizon {
-					break
-				}
-				// Inverse-CDF draw; 1−U ∈ (0,1] keeps the pow argument
-				// away from 0, the cap bounds the tail.
-				size := paretoXm / math.Pow(1-rng.Float64(), 1/paretoAlpha)
-				if size > paretoMaxSize {
-					size = paretoMaxSize
-				}
-				pts = append(pts, Point{At: at, Size: size})
-			}
-			return pts
-		},
+		Gen:  paretoGen,
 	})
+	Register(Mix(
+		"mix",
+		"2-class mix: 80% heavy-tailed batch (pareto sizes) + 20% light latency-critical (priority 1, 5ms deadline/SLO)",
+		SubProc{Name: "batch", Share: MixBatchShare, Class: MixBatchClass(), Gen: paretoGen},
+		SubProc{Name: "lc", Share: MixLCShare, Class: MixLCClass(), Gen: poissonSized(MixLCSize)},
+	))
 }

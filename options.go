@@ -264,6 +264,61 @@ func WithRetryPolicy(budget int, backoff Time) Option {
 	}
 }
 
+// WithDispatch selects how the machine's intake orders ready jobs
+// awaiting a worker: DispatchFIFO (default, class-blind delivery
+// order), DispatchPriority (strict Class.Priority, ties in delivery
+// order) or DispatchEDF (earliest absolute deadline first,
+// deadline-less jobs last). Ranked policies read each job's Class —
+// attach one with WithClass or Arrival.Class. Sim backend (and
+// NewCluster, where every machine's intake applies it); the Native
+// executor's intake is inherently FIFO and rejects ranked policies.
+func WithDispatch(d Dispatch) Option {
+	return func(s *settings) error {
+		if d > DispatchEDF {
+			return fmt.Errorf("hermes: invalid dispatch policy %d", d)
+		}
+		s.cfg.Dispatch = d
+		return nil
+	}
+}
+
+// WithPreemptQuantum enables Shinjuku-style quantum preemption under a
+// ranked dispatch policy (Sim backend): a worker executing a CPU
+// segment re-checks the ready queue every q of virtual time, and a
+// waiting job that strictly outranks the running one takes the worker
+// immediately — so a short latency-critical arrival overtakes
+// heavy-tailed batch work mid-stream instead of queueing behind it.
+// Zero (the default) disables preemption; q must not be negative.
+// No effect under DispatchFIFO, which never ranks one job above
+// another.
+func WithPreemptQuantum(q Time) Option {
+	return func(s *settings) error {
+		if q < 0 {
+			return fmt.Errorf("hermes: preemption quantum must not be negative, got %v", q)
+		}
+		s.cfg.PreemptQuantum = q
+		return nil
+	}
+}
+
+// submitSettings accumulates per-job SubmitOption values.
+type submitSettings struct {
+	class Class
+}
+
+// SubmitOption stamps per-job attributes on one Submit call.
+type SubmitOption func(*submitSettings)
+
+// WithClass sets the submitted job's service class: the tenant label
+// and priority that ranked dispatch policies, priority-aware load
+// shedding and per-class metrics read, plus the optional deadline
+// (DispatchEDF) and SLO target (per-class attainment reporting). The
+// class travels with the job through every layer and is echoed in its
+// Report.
+func WithClass(c Class) SubmitOption {
+	return func(ss *submitSettings) { ss.class = c }
+}
+
 // WithConfig replaces the entire base configuration — the escape
 // hatch for callers migrating from the Config-struct API or setting
 // fields no dedicated option covers (overheads, MaxTempoLevels, …).

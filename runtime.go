@@ -69,6 +69,11 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("hermes: unknown mode %q (want baseline, workpath, workload or unified)", s)
 }
 
+// ParseDispatch maps a dispatch-policy name ("fifo", "priority" or
+// "edf"; "" selects fifo) onto the Dispatch value — the one parser for
+// every CLI flag.
+func ParseDispatch(s string) (Dispatch, error) { return core.ParseDispatch(s) }
+
 // Job is the handle for one submitted root task: Wait blocks for the
 // per-job Report, Done supports select-based completion.
 type Job = job.Job
@@ -119,10 +124,11 @@ var ErrModeSwitchUnavailable = errors.New("hermes: live mode switching unavailab
 // discrete-event simulator and the real-concurrency pool serve
 // submitted jobs through it.
 type Executor interface {
-	// Submit enqueues root as a new job and returns its handle. The
-	// job observes ctx: cancellation stops task execution at spawn and
-	// steal boundaries and completes the job with ctx's error.
-	Submit(ctx context.Context, root Task) (*Job, error)
+	// Submit enqueues root as a new job of the given service class and
+	// returns its handle (pass the zero Class for unclassed traffic).
+	// The job observes ctx: cancellation stops task execution at spawn
+	// and steal boundaries and completes the job with ctx's error.
+	Submit(ctx context.Context, root Task, class Class) (*Job, error)
 	// Close rejects further submissions, waits for submitted jobs to
 	// complete, and releases the backend's resources.
 	Close() error
@@ -201,7 +207,7 @@ func New(opts ...Option) (*Runtime, error) {
 			return fail(err)
 		}
 		r.cfg = ex.Config()
-		r.exec = ex
+		r.exec = nativeExec{ex}
 	default:
 		return fail(fmt.Errorf("hermes: unknown backend %d", s.backend))
 	}
@@ -247,8 +253,23 @@ func (r *Runtime) Backend() Backend { return r.backend }
 // the job's task execution at spawn and steal boundaries and
 // completes it with ctx's error; a job whose work completed before
 // cancellation took effect reports success.
-func (r *Runtime) Submit(ctx context.Context, root Task) (*Job, error) {
-	j, err := r.exec.Submit(ctx, root)
+//
+// Options stamp per-job attributes: WithClass sets the job's service
+// class (tenant, priority, deadline, SLO target), which ranked
+// dispatch policies (WithDispatch) schedule on and every Report
+// carries. No options submits the zero class — exactly the
+// pre-class behaviour.
+func (r *Runtime) Submit(ctx context.Context, root Task, opts ...SubmitOption) (*Job, error) {
+	var so submitSettings
+	for _, o := range opts {
+		if o != nil {
+			o(&so)
+		}
+	}
+	if err := so.class.Validate(); err != nil {
+		return nil, err
+	}
+	j, err := r.exec.Submit(ctx, root, so.class)
 	switch {
 	case errors.Is(err, rt.ErrClosed):
 		err = ErrClosed
@@ -260,10 +281,12 @@ func (r *Runtime) Submit(ctx context.Context, root Task) (*Job, error) {
 
 // Arrival is one entry of a virtual-time arrival trace: Task enters
 // the system at virtual time At (negative means "on receipt"; a time
-// the virtual clock has already passed is clamped to now).
+// the virtual clock has already passed is clamped to now) carrying
+// service class Class (zero = unclassed).
 type Arrival struct {
-	At   Time
-	Task Task
+	At    Time
+	Task  Task
+	Class Class
 }
 
 // SubmitTrace schedules a whole batch of jobs at explicit virtual
@@ -336,6 +359,15 @@ func (r *Runtime) EventsDropped() uint64 {
 	return r.sink.Dropped()
 }
 
+// nativeExec adapts the real-concurrency executor (internal/rt) to
+// the class-aware Executor contract: the class rides on the job for
+// reporting and metrics while the intake stays FIFO.
+type nativeExec struct{ *rt.Exec }
+
+func (n nativeExec) Submit(ctx context.Context, root Task, class Class) (*Job, error) {
+	return n.Exec.SubmitClass(ctx, root, class)
+}
+
 // --- simulator backend ----------------------------------------------
 
 // simExec serves jobs through the persistent discrete-event pool
@@ -362,8 +394,8 @@ func newSimExec(cfg core.Config) (*simExec, error) {
 	return &simExec{pool: pool}, nil
 }
 
-func (e *simExec) Submit(ctx context.Context, root Task) (*Job, error) {
-	jobs, err := e.submit(ctx, []Arrival{{At: -1, Task: root}})
+func (e *simExec) Submit(ctx context.Context, root Task, class Class) (*Job, error) {
+	jobs, err := e.submit(ctx, []Arrival{{At: -1, Task: root, Class: class}})
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +433,7 @@ func (e *simExec) submit(ctx context.Context, arrivals []Arrival) ([]*Job, error
 			ID:        j.ID(),
 			At:        a.At,
 			Root:      a.Task,
+			Class:     a.Class,
 			Cancelled: func() bool { return ctx.Err() != nil },
 			Done: func(rep core.Report, err error) {
 				if errors.Is(err, core.ErrInterrupted) {
